@@ -1,0 +1,71 @@
+// Command obfsim regenerates the paper's tables and figures from the
+// simulator. Run with -exp all (default) or one of: table1, table2,
+// table3, figure4, figure5, energy, table4, tampering.
+//
+// Example:
+//
+//	obfsim -exp table3 -requests 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"obfusmem/internal/cpu"
+	"obfusmem/internal/exp"
+	"obfusmem/internal/stats"
+)
+
+func main() {
+	var (
+		which    = flag.String("exp", "all", "experiment: all|table1|table2|table3|figure4|figure5|energy|table4|tampering|timing|sensitivity")
+		requests = flag.Int("requests", 8000, "memory requests per benchmark per configuration")
+		seed     = flag.Uint64("seed", 42, "global experiment seed")
+		serial   = flag.Bool("serial", false, "disable parallel benchmark execution")
+		exposure = flag.Float64("exposure", 0.55, "fraction of read latency exposed to execution time")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	opts := exp.DefaultOptions()
+	opts.Requests = *requests
+	opts.Seed = *seed
+	opts.Parallel = !*serial
+	opts.CPU = cpu.Config{Exposure: *exposure, WriteBuffer: 16}
+
+	runners := map[string]func() *stats.Table{
+		"table1":      func() *stats.Table { return exp.Table1(opts) },
+		"table2":      exp.Table2,
+		"table3":      func() *stats.Table { return exp.Table3(opts) },
+		"figure4":     func() *stats.Table { return exp.Figure4(opts) },
+		"figure5":     func() *stats.Table { return exp.Figure5(opts) },
+		"energy":      func() *stats.Table { return exp.Energy(opts) },
+		"table4":      func() *stats.Table { return exp.Table4(opts) },
+		"tampering":   func() *stats.Table { return exp.Tampering(opts) },
+		"timing":      func() *stats.Table { return exp.TimingOblivious(opts) },
+		"sensitivity": func() *stats.Table { return exp.Sensitivity(opts) },
+	}
+	order := []string{"table1", "table2", "table3", "figure4", "figure5", "energy", "table4", "tampering", "timing", "sensitivity"}
+
+	names := order
+	if *which != "all" {
+		if _, ok := runners[*which]; !ok {
+			fmt.Fprintf(os.Stderr, "obfsim: unknown experiment %q\n", *which)
+			flag.Usage()
+			os.Exit(2)
+		}
+		names = []string{*which}
+	}
+	for _, n := range names {
+		start := time.Now()
+		t := runners[n]()
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", n, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,84 @@
+// Command replay runs a recorded request trace (the CSV format of
+// cmd/tracegen) against a machine at a chosen protection level and reports
+// execution statistics — comparing protections on identical traffic.
+//
+// Example:
+//
+//	tracegen -bench mcf -n 50000 > mcf.csv
+//	replay -trace mcf.csv -protection obfusmem+auth
+//	replay -trace mcf.csv -protection all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"obfusmem"
+)
+
+var levels = map[string]obfusmem.Protection{
+	"none":          obfusmem.ProtectionNone,
+	"encrypt":       obfusmem.ProtectionEncrypt,
+	"obfusmem":      obfusmem.ProtectionObfusMem,
+	"obfusmem+auth": obfusmem.ProtectionObfusMemAuth,
+	"oram":          obfusmem.ProtectionORAM,
+}
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace CSV (required; - for stdin)")
+		prot      = flag.String("protection", "all", "none|encrypt|obfusmem|obfusmem+auth|oram|all")
+		channels  = flag.Int("channels", 1, "memory channels (1,2,4,8)")
+		seed      = flag.Uint64("seed", 1, "machine seed")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "replay: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	in := os.Stdin
+	if *tracePath != "-" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	reqs, err := obfusmem.ReadTrace(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "replay: %d requests loaded\n", len(reqs))
+
+	names := []string{"none", "encrypt", "obfusmem", "obfusmem+auth", "oram"}
+	if *prot != "all" {
+		if _, ok := levels[*prot]; !ok {
+			fmt.Fprintf(os.Stderr, "replay: unknown protection %q\n", *prot)
+			os.Exit(2)
+		}
+		names = []string{*prot}
+	}
+
+	fmt.Printf("%-16s %14s %12s %12s\n", "protection", "exec time", "mean read", "overhead")
+	var base obfusmem.Result
+	for i, name := range names {
+		m, err := obfusmem.NewMachine(obfusmem.MachineConfig{
+			Protection: levels[name], Channels: *channels, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		res := m.ReplayTrace(name, reqs)
+		if i == 0 {
+			base = res
+		}
+		fmt.Printf("%-16s %14v %9.0f ns %11.1f%%\n",
+			name, res.ExecTime, res.MeanReadNS, obfusmem.Overhead(base, res))
+	}
+}

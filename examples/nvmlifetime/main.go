@@ -1,0 +1,49 @@
+// Nvmlifetime: the Section 3.3 dummy-address ablation on a PCM main
+// memory. Phase-change cells endure ~1e8 writes, so what a dummy request
+// does at the memory decides the device's lifetime:
+//
+//   - random-address dummies write random rows (wear + lost row locality),
+//   - original-address dummies turn every read into a real PCM write,
+//   - fixed-address dummies (the paper's design) are dropped on arrival.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"obfusmem"
+)
+
+func run(d obfusmem.DummyDesign, label string) {
+	m, err := obfusmem.NewMachine(obfusmem.MachineConfig{
+		Protection: obfusmem.ProtectionObfusMem,
+		Dummy:      d,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// bwaves is ~95% demand reads, so nearly every access needs a dummy
+	// *write* — the case where the dummy-address design decides NVM fate.
+	res, err := m.RunBenchmark("bwaves", 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := m.Traffic()
+	lifetimeHours := m.NVMLifetimeYears(res.ExecTime) * 365.25 * 24
+	fmt.Printf("%-18s exec %10v | dummy PCM writes %6d reads %6d | array writes %6d | max row wear %4d | energy %.1f uJ | est. lifetime %6.1f h\n",
+		label, res.ExecTime, t.DummyPCMWrites, t.DummyPCMReads,
+		t.PCMArrayWrites, t.PCMMaxWear, t.PCMEnergyPJ/1e6, lifetimeHours)
+}
+
+func main() {
+	fmt.Println("dummy-address design ablation (bwaves, 10000 requests, PCM endurance 1e8 writes/cell)")
+	fmt.Println()
+	run(obfusmem.RandomAddress, "random-address")
+	run(obfusmem.OriginalAddress, "original-address")
+	run(obfusmem.FixedAddress, "fixed-address")
+	fmt.Println()
+	fmt.Println("fixed-address dummies are dropped at the memory-side controller before")
+	fmt.Println("touching PCM (Observation 2): zero extra wear, zero extra write energy,")
+	fmt.Println("which is why the paper reserves one 64-byte block per module as the dummy.")
+}

@@ -1,0 +1,3 @@
+module obfusmem
+
+go 1.22

@@ -1,0 +1,124 @@
+package attack
+
+import (
+	"obfusmem/internal/bus"
+	"obfusmem/internal/sim"
+	"obfusmem/internal/xrand"
+)
+
+// TamperKind selects the active attack of Section 3.5.
+type TamperKind int
+
+// Active attacks.
+const (
+	// TamperNone passes traffic through (control).
+	TamperNone TamperKind = iota
+	// TamperModify flips bits in the command field of selected packets.
+	TamperModify
+	// TamperDrop deletes selected packets in flight.
+	TamperDrop
+	// TamperReplay substitutes a selected packet with a previously
+	// recorded valid packet from the same channel and direction.
+	TamperReplay
+	// TamperMAC corrupts only the MAC field.
+	TamperMAC
+	// TamperData flips bits in the data payload only (Observation 4: this
+	// is the case the bus MAC does not cover; the Merkle tree catches it
+	// when the data is next read).
+	TamperData
+)
+
+func (k TamperKind) String() string {
+	switch k {
+	case TamperNone:
+		return "none"
+	case TamperModify:
+		return "modify"
+	case TamperDrop:
+		return "drop"
+	case TamperReplay:
+		return "replay"
+	case TamperMAC:
+		return "corrupt-mac"
+	case TamperData:
+		return "corrupt-data"
+	default:
+		return "unknown"
+	}
+}
+
+// Tamperer is an active in-flight attacker. It attacks every Nth eligible
+// packet (proc->mem command-carrying packets, except TamperData which also
+// targets payloads).
+type Tamperer struct {
+	Kind   TamperKind
+	EveryN int
+	rng    *xrand.Rand
+
+	seen     int
+	Attacked int
+	// history holds past packets per channel for replay.
+	history map[int]*bus.Packet
+}
+
+// NewTamperer builds an attacker.
+func NewTamperer(kind TamperKind, everyN int, rng *xrand.Rand) *Tamperer {
+	if everyN <= 0 {
+		everyN = 1
+	}
+	return &Tamperer{Kind: kind, EveryN: everyN, rng: rng, history: make(map[int]*bus.Packet)}
+}
+
+// Tamper implements bus.Tamperer.
+func (t *Tamperer) Tamper(at sim.Time, p *bus.Packet) *bus.Packet {
+	if t.Kind == TamperNone {
+		return p
+	}
+	eligible := p.Dir == bus.ProcToMem && p.HasCmd
+	if t.Kind == TamperData {
+		eligible = len(p.Data) > 0
+	}
+	if !eligible {
+		return p
+	}
+	// Keep a copy for replay before deciding.
+	prev := t.history[p.Channel]
+	cp := *p
+	if len(p.Data) > 0 {
+		cp.Data = append([]byte(nil), p.Data...)
+	}
+	t.history[p.Channel] = &cp
+
+	t.seen++
+	if t.seen%t.EveryN != 0 {
+		return p
+	}
+	t.Attacked++
+	switch t.Kind {
+	case TamperModify:
+		out := cp
+		// Flip within the type/address region of the field. Flips in the
+		// trailing padding bytes are semantically inert (decode ignores
+		// them), so this models the attacker's *effective* modifications.
+		out.CmdCipher[t.rng.Intn(9)] ^= byte(1 + t.rng.Intn(255))
+		return &out
+	case TamperDrop:
+		return nil
+	case TamperReplay:
+		if prev == nil {
+			t.Attacked--
+			return p
+		}
+		return prev
+	case TamperMAC:
+		out := cp
+		out.MAC ^= 1 << uint(t.rng.Intn(64))
+		return &out
+	case TamperData:
+		out := cp
+		out.Data[t.rng.Intn(len(out.Data))] ^= byte(1 + t.rng.Intn(255))
+		return &out
+	default:
+		return p
+	}
+}

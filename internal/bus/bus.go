@@ -1,0 +1,267 @@
+// Package bus models the exposed processor-memory interconnect: the only
+// part of an ObfusMem system an attacker can observe or tamper with
+// (Section 2.1). Each memory channel is a split-transaction link with
+// separate request and reply directions, a fixed bandwidth, and taps where
+// passive observers and active tamperers attach.
+//
+// A packet carries exactly what would appear on the wires: a 16-byte
+// command+address field (plaintext in an unprotected system, one AES block
+// of ciphertext under ObfusMem), an optional 64-byte data payload, and an
+// optional 8-byte MAC. Ground-truth fields (real address, request type,
+// dummy flag) ride along for accounting and for tests, but observers are
+// given only the wire view.
+package bus
+
+import (
+	"fmt"
+
+	"obfusmem/internal/sim"
+)
+
+// Direction of a transfer.
+type Direction int
+
+// Transfer directions.
+const (
+	ProcToMem Direction = iota
+	MemToProc
+)
+
+func (d Direction) String() string {
+	if d == ProcToMem {
+		return "proc->mem"
+	}
+	return "mem->proc"
+}
+
+// ReqType is the ground-truth request type.
+type ReqType byte
+
+// Request types.
+const (
+	Read ReqType = iota + 1
+	Write
+)
+
+func (t ReqType) String() string {
+	switch t {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("ReqType(%d)", byte(t))
+	}
+}
+
+// Wire sizes in bytes.
+const (
+	CmdBytes  = 16 // one AES block: command + address (+ padding)
+	DataBytes = 64 // one cache block
+	MACBytes  = 8  // truncated MD5 tag
+)
+
+// Packet is one bus transfer.
+type Packet struct {
+	Channel int
+	Dir     Direction
+
+	// Wire view (what the attacker sees).
+	CmdCipher [CmdBytes]byte // command+address field as transmitted
+	HasCmd    bool
+	Data      []byte // nil, or DataBytes of payload as transmitted
+	MAC       uint64
+	HasMAC    bool
+
+	// Ground truth (invisible to observers; used by endpoints and tests).
+	Type      ReqType
+	Addr      uint64
+	IsDummy   bool
+	Plaintext bool // command field is plaintext (unprotected system)
+	Counter   uint64
+	Seq       uint64 // global issue sequence, for correlating req/reply
+}
+
+// WireBytes returns the number of bytes the packet occupies on the link.
+func (p *Packet) WireBytes() int {
+	n := 0
+	if p.HasCmd {
+		n += CmdBytes
+	}
+	n += len(p.Data)
+	if p.HasMAC {
+		n += MACBytes
+	}
+	return n
+}
+
+// Observer receives a copy of every packet on a tapped channel, with the
+// time the transfer started. Observers must not mutate the packet.
+type Observer interface {
+	Observe(at sim.Time, p *Packet)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(at sim.Time, p *Packet)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(at sim.Time, p *Packet) { f(at, p) }
+
+// Tamperer can mutate, drop, or replace packets in flight. Returning nil
+// drops the packet. Returning a different packet substitutes it.
+type Tamperer interface {
+	Tamper(at sim.Time, p *Packet) *Packet
+}
+
+// ChannelStats aggregates per-channel traffic counters.
+type ChannelStats struct {
+	Packets      uint64
+	DummyPackets uint64
+	Bytes        uint64
+	ReqBusy      sim.Time
+	RespBusy     sim.Time
+}
+
+// Config describes the physical link.
+type Config struct {
+	Channels int
+	// BandwidthGBps is per-channel, per-direction bandwidth. Table 2: 12.8.
+	BandwidthGBps float64
+	// PropagationDelay is the wire flight time added to every transfer.
+	PropagationDelay sim.Time
+}
+
+// DefaultConfig matches Table 2 of the paper.
+func DefaultConfig(channels int) Config {
+	return Config{
+		Channels:         channels,
+		BandwidthGBps:    12.8,
+		PropagationDelay: 1 * sim.Nanosecond,
+	}
+}
+
+// Bus is the set of memory channels.
+type Bus struct {
+	cfg       Config
+	req       []*sim.Resource // per-channel request direction
+	resp      []*sim.Resource // per-channel reply direction
+	stats     []ChannelStats
+	observers []Observer
+	tamperer  Tamperer
+	psPerByte float64
+}
+
+// New builds a bus.
+func New(cfg Config) *Bus {
+	if cfg.Channels <= 0 {
+		panic("bus: need at least one channel")
+	}
+	if cfg.BandwidthGBps <= 0 {
+		panic("bus: non-positive bandwidth")
+	}
+	b := &Bus{
+		cfg:       cfg,
+		req:       make([]*sim.Resource, cfg.Channels),
+		resp:      make([]*sim.Resource, cfg.Channels),
+		stats:     make([]ChannelStats, cfg.Channels),
+		psPerByte: 1000.0 / cfg.BandwidthGBps, // ps per byte at GB/s
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		b.req[i] = sim.NewResource(fmt.Sprintf("ch%d-req", i))
+		b.resp[i] = sim.NewResource(fmt.Sprintf("ch%d-resp", i))
+	}
+	return b
+}
+
+// Channels returns the channel count.
+func (b *Bus) Channels() int { return b.cfg.Channels }
+
+// Config returns the link configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// AttachObserver adds a passive tap on all channels.
+func (b *Bus) AttachObserver(o Observer) { b.observers = append(b.observers, o) }
+
+// SetTamperer installs an active attacker (nil to remove).
+func (b *Bus) SetTamperer(t Tamperer) { b.tamperer = t }
+
+// TransferTime returns the link occupancy of n bytes.
+func (b *Bus) TransferTime(n int) sim.Time {
+	return sim.Time(float64(n)*b.psPerByte + 0.5)
+}
+
+// Transfer sends a packet, modelling serialization on the per-channel,
+// per-direction link. It returns the delivery time and the packet as
+// received (after any tampering); delivered is nil if the packet was
+// dropped in flight.
+func (b *Bus) Transfer(at sim.Time, p *Packet) (arrive sim.Time, delivered *Packet) {
+	if p.Channel < 0 || p.Channel >= b.cfg.Channels {
+		panic(fmt.Sprintf("bus: packet on channel %d of %d", p.Channel, b.cfg.Channels))
+	}
+	res := b.req[p.Channel]
+	if p.Dir == MemToProc {
+		res = b.resp[p.Channel]
+	}
+	hold := b.TransferTime(p.WireBytes())
+	start := res.Acquire(at, hold)
+
+	st := &b.stats[p.Channel]
+	st.Packets++
+	st.Bytes += uint64(p.WireBytes())
+	if p.IsDummy {
+		st.DummyPackets++
+	}
+	if p.Dir == ProcToMem {
+		st.ReqBusy += hold
+	} else {
+		st.RespBusy += hold
+	}
+
+	for _, o := range b.observers {
+		o.Observe(start, p)
+	}
+
+	out := p
+	if b.tamperer != nil {
+		out = b.tamperer.Tamper(start, p)
+	}
+	return start + hold + b.cfg.PropagationDelay, out
+}
+
+// IdleAt reports whether a channel's request direction is idle at time t;
+// the ObfusMem OPT inter-channel policy (Section 3.4) uses this to decide
+// where dummy requests are needed.
+func (b *Bus) IdleAt(channel int, t sim.Time) bool {
+	return b.req[channel].IdleAt(t)
+}
+
+// Stats returns a copy of the per-channel counters.
+func (b *Bus) Stats() []ChannelStats {
+	out := make([]ChannelStats, len(b.stats))
+	copy(out, b.stats)
+	return out
+}
+
+// TotalBytes sums traffic over all channels.
+func (b *Bus) TotalBytes() uint64 {
+	var n uint64
+	for i := range b.stats {
+		n += b.stats[i].Bytes
+	}
+	return n
+}
+
+// Utilization returns request-direction utilization of one channel over
+// [0, now].
+func (b *Bus) Utilization(channel int, now sim.Time) float64 {
+	return b.req[channel].Utilization(now)
+}
+
+// Reset clears occupancy and counters but keeps observers and tamperers.
+func (b *Bus) Reset() {
+	for i := range b.req {
+		b.req[i].Reset()
+		b.resp[i].Reset()
+		b.stats[i] = ChannelStats{}
+	}
+}

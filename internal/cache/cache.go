@@ -1,0 +1,282 @@
+// Package cache implements the processor cache hierarchy of Table 2:
+// per-core L1 and L2, a shared L3 (the LLC whose misses drive the memory
+// system), MESI coherence across the private levels, and the 256 KB
+// counter cache used by counter-mode memory encryption.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"obfusmem/internal/sim"
+)
+
+// State is a MESI coherence state.
+type State int
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+type line struct {
+	tag   uint64
+	state State
+	lru   uint64
+}
+
+// Config sizes a cache.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Assoc      int
+	BlockBytes int
+	HitLatency sim.Time
+}
+
+// Table2 cache configurations.
+var (
+	L1Config = Config{Name: "L1", SizeBytes: 32 << 10, Assoc: 8, BlockBytes: 64,
+		HitLatency: 2 * cpuCycle}
+	L2Config = Config{Name: "L2", SizeBytes: 512 << 10, Assoc: 8, BlockBytes: 64,
+		HitLatency: 8 * cpuCycle}
+	L3Config = Config{Name: "L3", SizeBytes: 8 << 20, Assoc: 8, BlockBytes: 64,
+		HitLatency: 17 * cpuCycle}
+	CounterCacheConfig = Config{Name: "CtrCache", SizeBytes: 256 << 10, Assoc: 8,
+		BlockBytes: 64, HitLatency: 5 * cpuCycle}
+)
+
+// cpuCycle is the 2 GHz core clock period.
+const cpuCycle = 500 * sim.Picosecond
+
+// CPUCycle exposes the core clock period used for cache latencies.
+const CPUCycle = cpuCycle
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+}
+
+// Eviction describes a victim pushed out by an Insert.
+type Eviction struct {
+	Addr  uint64
+	Dirty bool
+}
+
+// Cache is one set-associative, write-back, write-allocate cache with true
+// LRU replacement.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	numSets   int
+	blockBits uint
+	setMask   uint64
+	clock     uint64
+	stats     Stats
+}
+
+// New builds a cache. Size, associativity, and block size must be powers of
+// two and consistent.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.Assoc <= 0 || cfg.BlockBytes <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	blocks := cfg.SizeBytes / cfg.BlockBytes
+	numSets := blocks / cfg.Assoc
+	if numSets == 0 || numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, numSets))
+	}
+	if cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
+		panic("cache: block size not a power of two")
+	}
+	c := &Cache{
+		cfg:       cfg,
+		numSets:   numSets,
+		blockBits: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
+		setMask:   uint64(numSets - 1),
+	}
+	c.sets = make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c
+}
+
+// Config returns the geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	blk := addr >> c.blockBits
+	return int(blk & c.setMask), blk >> uint(bits.TrailingZeros(uint(c.numSets)))
+}
+
+// BlockAddr returns the block-aligned address.
+func (c *Cache) BlockAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.BlockBytes) - 1)
+}
+
+// Lookup probes without allocating. It returns the line state (Invalid on
+// miss) and counts the access.
+func (c *Cache) Lookup(addr uint64, touch bool) State {
+	c.stats.Accesses++
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state != Invalid && l.tag == tag {
+			c.stats.Hits++
+			if touch {
+				c.clock++
+				l.lru = c.clock
+			}
+			return l.state
+		}
+	}
+	c.stats.Misses++
+	return Invalid
+}
+
+// Probe checks presence without counting an access (snoop path).
+func (c *Cache) Probe(addr uint64) State {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state != Invalid && l.tag == tag {
+			return l.state
+		}
+	}
+	return Invalid
+}
+
+// SetState transitions an existing line; it is a no-op if absent.
+func (c *Cache) SetState(addr uint64, s State) {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state != Invalid && l.tag == tag {
+			l.state = s
+			return
+		}
+	}
+}
+
+// Invalidate removes a line, returning whether it was dirty (Modified).
+func (c *Cache) Invalidate(addr uint64) (wasDirty bool) {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state != Invalid && l.tag == tag {
+			wasDirty = l.state == Modified
+			l.state = Invalid
+			return wasDirty
+		}
+	}
+	return false
+}
+
+// Insert allocates a line in the given state, returning any evicted victim.
+func (c *Cache) Insert(addr uint64, s State) (ev *Eviction) {
+	if s == Invalid {
+		panic("cache: inserting an Invalid line")
+	}
+	set, tag := c.index(addr)
+	// Already present: just transition.
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state != Invalid && l.tag == tag {
+			l.state = s
+			c.clock++
+			l.lru = c.clock
+			return nil
+		}
+	}
+	// Find an invalid way or the LRU victim.
+	victim := &c.sets[set][0]
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state == Invalid {
+			victim = l
+			break
+		}
+		if l.lru < victim.lru {
+			victim = l
+		}
+	}
+	if victim.state != Invalid {
+		c.stats.Evictions++
+		dirty := victim.state == Modified
+		if dirty {
+			c.stats.Writebacks++
+		}
+		ev = &Eviction{Addr: c.rebuild(set, victim.tag), Dirty: dirty}
+	}
+	victim.tag = tag
+	victim.state = s
+	c.clock++
+	victim.lru = c.clock
+	return ev
+}
+
+func (c *Cache) rebuild(set int, tag uint64) uint64 {
+	setBits := uint(bits.TrailingZeros(uint(c.numSets)))
+	return (tag<<setBits | uint64(set)) << c.blockBits
+}
+
+// MissRate returns misses / accesses.
+func (c *Cache) MissRate() float64 {
+	if c.stats.Accesses == 0 {
+		return 0
+	}
+	return float64(c.stats.Misses) / float64(c.stats.Accesses)
+}
+
+// Flush invalidates everything, returning all dirty block addresses.
+func (c *Cache) Flush() []uint64 {
+	var dirty []uint64
+	for set := range c.sets {
+		for i := range c.sets[set] {
+			l := &c.sets[set][i]
+			if l.state == Modified {
+				dirty = append(dirty, c.rebuild(set, l.tag))
+			}
+			l.state = Invalid
+		}
+	}
+	return dirty
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for set := range c.sets {
+		for i := range c.sets[set] {
+			c.sets[set][i] = line{}
+		}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}

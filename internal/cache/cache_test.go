@@ -1,0 +1,297 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"obfusmem/internal/xrand"
+)
+
+func small() *Cache {
+	return New(Config{Name: "t", SizeBytes: 1024, Assoc: 2, BlockBytes: 64, HitLatency: cpuCycle})
+}
+
+func TestLookupInsert(t *testing.T) {
+	c := small()
+	if st := c.Lookup(0x100, true); st != Invalid {
+		t.Fatalf("cold lookup = %v", st)
+	}
+	if ev := c.Insert(0x100, Exclusive); ev != nil {
+		t.Fatalf("insert into empty set evicted %+v", ev)
+	}
+	if st := c.Lookup(0x100, true); st != Exclusive {
+		t.Fatalf("lookup after insert = %v", st)
+	}
+	// Same block, different byte offset.
+	if st := c.Lookup(0x13f, true); st != Exclusive {
+		t.Fatalf("same-block lookup = %v", st)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small() // 8 sets, 2-way; same set every 8 blocks = 512 bytes
+	a, b, d := uint64(0x000), uint64(0x200), uint64(0x400)
+	c.Insert(a, Exclusive)
+	c.Insert(b, Exclusive)
+	c.Lookup(a, true) // make b the LRU
+	ev := c.Insert(d, Exclusive)
+	if ev == nil || ev.Addr != b {
+		t.Fatalf("evicted %+v, want addr %#x", ev, b)
+	}
+	if ev.Dirty {
+		t.Error("clean line reported dirty")
+	}
+	if c.Probe(a) == Invalid || c.Probe(d) == Invalid || c.Probe(b) != Invalid {
+		t.Error("LRU state wrong after eviction")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := small()
+	c.Insert(0x000, Modified)
+	c.Insert(0x200, Exclusive)
+	ev := c.Insert(0x400, Exclusive)
+	if ev == nil || !ev.Dirty || ev.Addr != 0x000 {
+		t.Fatalf("ev = %+v, want dirty 0x0", ev)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("Writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestRebuildAddress(t *testing.T) {
+	// Evicted address must be the one inserted (block-aligned).
+	c := small()
+	addrs := []uint64{0x7fc0, 0x12340, 0xabcc0}
+	for _, a := range addrs {
+		blk := c.BlockAddr(a)
+		c.Reset()
+		c.Insert(blk, Modified)
+		// Fill the set (stride 512B maps to the same set) to force
+		// eviction of blk.
+		c.Insert(blk+512, Exclusive)
+		c.Insert(blk+1024, Exclusive)
+		if c.Probe(blk) != Invalid {
+			t.Fatalf("line %#x not evicted", blk)
+		}
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Insert(0x40, Modified)
+	if !c.Invalidate(0x40) {
+		t.Fatal("dirty invalidate returned false")
+	}
+	if c.Invalidate(0x40) {
+		t.Fatal("second invalidate returned true")
+	}
+	if c.Probe(0x40) != Invalid {
+		t.Fatal("line survives invalidate")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := small()
+	c.Insert(0x000, Modified)
+	c.Insert(0x040, Exclusive)
+	c.Insert(0x080, Modified)
+	dirty := c.Flush()
+	if len(dirty) != 2 {
+		t.Fatalf("Flush returned %d dirty, want 2", len(dirty))
+	}
+	for _, a := range dirty {
+		if a != 0x000 && a != 0x080 {
+			t.Fatalf("unexpected dirty addr %#x", a)
+		}
+	}
+	if c.Probe(0x040) != Invalid {
+		t.Fatal("Flush left lines valid")
+	}
+}
+
+func TestInsertExistingTransitions(t *testing.T) {
+	c := small()
+	c.Insert(0x40, Shared)
+	if ev := c.Insert(0x40, Modified); ev != nil {
+		t.Fatal("re-insert evicted")
+	}
+	if c.Probe(0x40) != Modified {
+		t.Fatal("re-insert did not transition state")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := small()
+	c.Lookup(0, true) // miss
+	c.Insert(0, Exclusive)
+	c.Lookup(0, true)  // hit
+	c.Lookup(64, true) // miss
+	if r := c.MissRate(); r < 0.66 || r > 0.67 {
+		t.Fatalf("MissRate = %v, want 2/3", r)
+	}
+}
+
+// Property: cache never holds more valid lines than its capacity and the
+// same block never occupies two ways.
+func TestCapacityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		c := small()
+		live := map[uint64]bool{}
+		for i := 0; i < 300; i++ {
+			addr := uint64(r.Intn(64)) * 64
+			st := State(1 + r.Intn(3))
+			if ev := c.Insert(addr, st); ev != nil {
+				delete(live, ev.Addr)
+			}
+			live[addr] = true
+			if len(live) > 16 { // 1024/64 lines
+				return false
+			}
+		}
+		// every tracked line must still probe valid
+		for a := range live {
+			if c.Probe(a) == Invalid {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, Assoc: 2, BlockBytes: 64},
+		{SizeBytes: 1000, Assoc: 2, BlockBytes: 64},
+		{SizeBytes: 1024, Assoc: 2, BlockBytes: 60},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() { _ = recover() }()
+			New(cfg)
+			t.Errorf("New(%+v) did not panic", cfg)
+		}()
+	}
+}
+
+func TestHierarchyBasicMissPath(t *testing.T) {
+	h := NewHierarchy(1)
+	res := h.Access(0, 0x1000, false)
+	if res.HitLevel != 4 {
+		t.Fatalf("cold access hit level %d, want 4", res.HitLevel)
+	}
+	if len(res.MemAccesses) == 0 || !res.MemAccesses[0].Demand || res.MemAccesses[0].Write {
+		t.Fatalf("MemAccesses = %+v, want leading demand read", res.MemAccesses)
+	}
+	// Immediately after, it is an L1 hit.
+	res = h.Access(0, 0x1000, false)
+	if res.HitLevel != 1 {
+		t.Fatalf("second access level %d, want 1", res.HitLevel)
+	}
+	if res.Latency != L1Config.HitLatency {
+		t.Fatalf("L1 hit latency %v", res.Latency)
+	}
+}
+
+func TestHierarchyWritebackReachesMemory(t *testing.T) {
+	h := NewHierarchy(1)
+	// Dirty many distinct blocks so L3 eventually evicts dirty victims.
+	var wbs int
+	r := xrand.New(9)
+	for i := 0; i < 400000; i++ {
+		addr := uint64(r.Intn(1<<26)) &^ 63
+		res := h.Access(0, addr, true)
+		for _, m := range res.MemAccesses {
+			if m.Write {
+				wbs++
+			}
+		}
+	}
+	if wbs == 0 {
+		t.Fatal("no writebacks ever reached memory")
+	}
+	if h.LLCWritebacks() == 0 {
+		t.Fatal("LLC writeback counter is zero")
+	}
+}
+
+func TestHierarchyCoherenceInvalidation(t *testing.T) {
+	h := NewHierarchy(2)
+	addr := uint64(0x4000)
+	h.Access(0, addr, false) // core 0 reads
+	h.Access(1, addr, true)  // core 1 writes: must invalidate core 0
+	if h.Invalidations == 0 {
+		t.Fatal("write by peer did not invalidate")
+	}
+	if st := h.L2(0).Probe(addr); st != Invalid {
+		t.Fatalf("core 0 L2 state = %v after peer write, want I", st)
+	}
+	if st := h.L1(0).Probe(addr); st != Invalid {
+		t.Fatalf("core 0 L1 state = %v after peer write, want I", st)
+	}
+}
+
+func TestHierarchyReadSharing(t *testing.T) {
+	h := NewHierarchy(2)
+	addr := uint64(0x8000)
+	h.Access(0, addr, false)
+	res := h.Access(1, addr, false)
+	if res.HitLevel == 4 {
+		t.Fatal("second reader went to memory despite peer/L3 copy")
+	}
+	if st := h.L2(0).Probe(addr); st != Shared {
+		t.Fatalf("core 0 state after peer read = %v, want S", st)
+	}
+}
+
+func TestHierarchyLLCMissCount(t *testing.T) {
+	h := NewHierarchy(1)
+	for i := 0; i < 100; i++ {
+		h.Access(0, uint64(i)*64, false)
+	}
+	if got := h.LLCMisses(); got != 100 {
+		t.Fatalf("LLCMisses = %d, want 100", got)
+	}
+	// All hits now.
+	for i := 0; i < 100; i++ {
+		h.Access(0, uint64(i)*64, false)
+	}
+	if got := h.LLCMisses(); got != 100 {
+		t.Fatalf("LLCMisses after hits = %d, want 100", got)
+	}
+}
+
+func TestFlushAllProducesWritebacks(t *testing.T) {
+	h := NewHierarchy(2)
+	h.Access(0, 0x100, true)
+	h.Access(1, 0x2000, true)
+	out := h.FlushAll()
+	if len(out) < 2 {
+		t.Fatalf("FlushAll produced %d writebacks, want >= 2", len(out))
+	}
+	for _, m := range out {
+		if !m.Write {
+			t.Fatalf("FlushAll produced a read: %+v", m)
+		}
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy(1)
+	h.Access(0, 0x40, true)
+	h.Reset()
+	if h.LLCMisses() != 0 || h.L1(0).Stats().Accesses != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	if h.L1(0).Probe(0x40) != Invalid {
+		t.Fatal("Reset left lines valid")
+	}
+}

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"fmt"
+
+	"obfusmem/internal/oram"
+	"obfusmem/internal/pcm"
+	"obfusmem/internal/stats"
+	"obfusmem/internal/system"
+	"obfusmem/internal/xrand"
+)
+
+// Energy reproduces the Section 5.2 analysis ("Impact on Memory Energy and
+// Lifetime"): the analytic read-energy and pad-count comparison between
+// Path ORAM and ObfusMem, cross-checked against measured simulator
+// counters.
+func Energy(opts Options) *stats.Table {
+	t := stats.NewTable("Section 5.2: memory energy and lifetime",
+		"Quantity", "ORAM", "ObfusMem", "Source")
+
+	// --- Analytic reproduction of the paper's arithmetic. ---
+	pathBlocks := 100.0 // L=24, Z=4
+	oramEnergy := (1 + pcm.WriteEnergyRatio) * pathBlocks
+	obfusEnergy := (1 + pcm.WriteEnergyRatio) / 2 // 50:50 read:write mix
+	t.AddRow("PCM energy per access (x read energy)",
+		fmt.Sprintf("%.0fx", oramEnergy), fmt.Sprintf("%.1fx", obfusEnergy), "analytic")
+	t.AddRow("PCM energy reduction", "1x",
+		fmt.Sprintf("%.0fx", oramEnergy/obfusEnergy), "analytic")
+
+	oramPads := 200.0 * 4 // 100 blocks read + 100 written, 4 pads each
+	obfusPadsPerChannel := 16.0
+	t.AddRow("128-bit pads per access (1 channel)",
+		fmt.Sprintf("%.0f", oramPads), fmt.Sprintf("%.0f", obfusPadsPerChannel), "analytic")
+	t.AddRow("128-bit pads per access (4 channels, worst case)",
+		fmt.Sprintf("%.0f", oramPads), fmt.Sprintf("%.0f", obfusPadsPerChannel*4), "analytic")
+	t.AddRow("pad reduction (worst/best case)",
+		"1x", fmt.Sprintf("%.1fx / %.0fx", oramPads/(obfusPadsPerChannel*4), oramPads/obfusPadsPerChannel), "analytic")
+
+	// --- Measured: functional Path ORAM write amplification. ---
+	fo, err := oram.New(oram.Config{Levels: 12, Z: 4, StashCapacity: 500, BlockBytes: 64},
+		8000, xrand.New(opts.Seed))
+	if err != nil {
+		panic(err)
+	}
+	r := xrand.New(opts.Seed + 1)
+	for i := 0; i < 3000; i++ {
+		fo.Access(oram.OpRead, r.Intn(8000), nil)
+	}
+	t.AddRow("blocks written per access (measured)",
+		fmt.Sprintf("%.0f", fo.WriteAmplification()), "0", "functional ORAM / ObfusMem drop-at-memory")
+	t.AddRow("storage overhead (measured)",
+		fmt.Sprintf("%.0f%%", fo.StorageOverhead()*100), "~0%", "functional ORAM tree / 1 dummy block per module")
+
+	// --- Measured: ObfusMem pads, PCM writes, and lifetime on a
+	// memory-intensive benchmark. ---
+	res, sys := runOne(opts, system.DefaultConfig(system.ObfusMem), "lbm")
+	obf := sys.Obfus()
+	perAccess := float64(obf.PadsProc()+obf.PadsMem()) / float64(res.Requests)
+	t.AddRow("measured ObfusMem pads per access", "-",
+		fmt.Sprintf("%.1f", perAccess), "simulated lbm")
+	ps := sys.Memory().TotalPCMStats()
+	extraWrites := obf.Stats().DummyPCMWrites
+	t.AddRow("extra PCM writes from dummies", fmt.Sprintf("~%.0f/access", pathBlocks),
+		fmt.Sprintf("%d", extraWrites), "simulated lbm (fixed-address design)")
+	dev := sys.Memory().Device(0)
+	t.AddRow("PCM array writes (real traffic only)", "-",
+		fmt.Sprintf("%d", ps.ArrayWrites), "simulated lbm")
+	t.AddRow("estimated NVM lifetime ratio (ObfusMem/ORAM)", "1x",
+		fmt.Sprintf("~%.0fx", pathBlocks), "analytic: ORAM writes ~100 blocks/access")
+	_ = dev
+	t.AddNote("paper: 780x vs 3.9x read energy (200x reduction); 800 vs 16-64 pads; ~100x lifetime")
+	return t
+}

@@ -1,0 +1,238 @@
+package keys
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"obfusmem/internal/xrand"
+)
+
+// Approach selects one of the paper's trust-bootstrapping strategies
+// (Section 3.1).
+type Approach int
+
+// Bootstrapping approaches, in the paper's order.
+const (
+	// Naive: public keys are exchanged in the clear during BIOS. Secure
+	// only if boot is physically isolated; a boot-time MITM wins.
+	Naive Approach = iota
+	// TrustedIntegrator: the system integrator burns each component's
+	// public key into the counterpart's write-once registers.
+	TrustedIntegrator
+	// UntrustedIntegrator: key burning as above, plus mutual SGX-like
+	// attestation so that wrongly-burned keys are detected at boot.
+	UntrustedIntegrator
+)
+
+func (a Approach) String() string {
+	switch a {
+	case Naive:
+		return "naive"
+	case TrustedIntegrator:
+		return "trusted-integrator"
+	case UntrustedIntegrator:
+		return "untrusted-integrator"
+	default:
+		return fmt.Sprintf("Approach(%d)", int(a))
+	}
+}
+
+// BootMITM models an active attacker present during BIOS execution who can
+// substitute public keys exchanged in the clear (the reason the paper
+// rejects the naive approach) and tamper with DH shares.
+type BootMITM struct {
+	rng *xrand.Rand
+	// attacker key pairs used to impersonate each side
+	procSide *PrivateKey
+	memSide  *PrivateKey
+}
+
+// NewBootMITM creates an attacker with its own key material.
+func NewBootMITM(r *xrand.Rand) *BootMITM {
+	return &BootMITM{rng: r, procSide: GenerateKey(r), memSide: GenerateKey(r)}
+}
+
+// Integrator assembles systems. Honest integrators burn the right keys;
+// a malicious or sloppy integrator burns wrong ones.
+type Integrator struct {
+	Honest bool
+	rng    *xrand.Rand
+}
+
+// NewIntegrator returns an integrator.
+func NewIntegrator(honest bool, r *xrand.Rand) *Integrator {
+	return &Integrator{Honest: honest, rng: r}
+}
+
+// Integrate burns counterpart public keys into both components. A dishonest
+// integrator burns attacker-chosen keys instead, which the untrusted-
+// integrator approach must catch via attestation.
+func (ig *Integrator) Integrate(proc, mem *Component) error {
+	procKey, memKey := proc.PublicKey(), mem.PublicKey()
+	if !ig.Honest {
+		procKey = GenerateKey(ig.rng).Public
+		memKey = GenerateKey(ig.rng).Public
+	}
+	if err := proc.BurnCounterpartKey(memKey); err != nil {
+		return err
+	}
+	return mem.BurnCounterpartKey(procKey)
+}
+
+// SessionResult is the outcome of a boot-time channel establishment.
+type SessionResult struct {
+	// Key is the shared AES-128 session key (per memory channel).
+	Key [16]byte
+	// Compromised is true when an attacker holds the same key, i.e. the
+	// bootstrap failed silently (naive approach under MITM).
+	Compromised bool
+}
+
+// Errors surfaced by EstablishSession.
+var (
+	ErrAttestationFailed = errors.New("keys: attestation failed, system halts")
+	ErrUnknownKey        = errors.New("keys: counterpart key not in burned registers")
+	ErrBadSignature      = errors.New("keys: DH share signature invalid")
+)
+
+// EstablishSession runs the boot-time protocol between a processor and one
+// memory module under the chosen approach, returning the per-channel
+// session key. mitm may be nil (no boot-time attacker).
+//
+// Protocol shape (all approaches): each side learns the other's public key
+// (how depends on the approach), then runs a Diffie-Hellman exchange in
+// which each share is signed by the sender's identity key; the shared secret
+// is hashed into the AES session key. Public-key operations happen once at
+// boot; steady-state traffic uses only the symmetric session key.
+func EstablishSession(approach Approach, proc, mem *Component,
+	procCA, memCA PublicKey, mitm *BootMITM, r *xrand.Rand) (SessionResult, error) {
+
+	var procView, memView PublicKey // each side's belief about the peer key
+	compromised := false
+
+	switch approach {
+	case Naive:
+		// Keys cross the bus in the clear; a MITM substitutes its own.
+		procView, memView = mem.PublicKey(), proc.PublicKey()
+		if mitm != nil {
+			procView = mitm.memSide.Public
+			memView = mitm.procSide.Public
+			compromised = true
+		}
+	case TrustedIntegrator, UntrustedIntegrator:
+		// Keys come from the burned registers. The register contents are
+		// whatever the integrator burned; a MITM on the bus cannot change
+		// them, so a bus-level substitution is detected below.
+		if len(proc.registers) == 0 || len(mem.registers) == 0 {
+			return SessionResult{}, ErrUnknownKey
+		}
+		procView = proc.registers[len(proc.registers)-1]
+		memView = mem.registers[len(mem.registers)-1]
+		if approach == UntrustedIntegrator {
+			// Mutual attestation (Section 3.1, third approach).
+			if err := proc.VerifyMeasurement(mem.Attest(), memCA); err != nil {
+				return SessionResult{}, fmt.Errorf("%w: %v", ErrAttestationFailed, err)
+			}
+			if err := mem.VerifyMeasurement(proc.Attest(), procCA); err != nil {
+				return SessionResult{}, fmt.Errorf("%w: %v", ErrAttestationFailed, err)
+			}
+		}
+	default:
+		return SessionResult{}, fmt.Errorf("keys: unknown approach %v", approach)
+	}
+
+	// Authenticated DH. Each side signs its share; verification uses the
+	// side's view of the peer key.
+	procDH := NewDHExchange(r)
+	memDH := NewDHExchange(r)
+	procSig := proc.identity.Sign(proc.rng, procDH.Share.Bytes())
+	memSig := mem.identity.Sign(mem.rng, memDH.Share.Bytes())
+
+	procShareSeen, procSigSeen := procDH.Share, procSig
+	memShareSeen, memSigSeen := memDH.Share, memSig
+	var mitmProcDH, mitmMemDH *DHExchange
+	if mitm != nil {
+		// Active MITM swaps DH shares and re-signs with attacker keys.
+		mitmProcDH = NewDHExchange(mitm.rng)
+		mitmMemDH = NewDHExchange(mitm.rng)
+		procShareSeen = mitmProcDH.Share // what memory sees as "processor share"
+		procSigSeen = mitm.procSide.Sign(mitm.rng, mitmProcDH.Share.Bytes())
+		memShareSeen = mitmMemDH.Share // what processor sees as "memory share"
+		memSigSeen = mitm.memSide.Sign(mitm.rng, mitmMemDH.Share.Bytes())
+	}
+
+	// Processor verifies the (possibly substituted) memory share.
+	if !procView.Verify(memShareSeen.Bytes(), memSigSeen) {
+		return SessionResult{}, ErrBadSignature
+	}
+	// Memory verifies the (possibly substituted) processor share.
+	if !memView.Verify(procShareSeen.Bytes(), procSigSeen) {
+		return SessionResult{}, ErrBadSignature
+	}
+
+	if mitm != nil {
+		// MITM succeeded in sitting in the middle (only reachable in the
+		// naive approach, where procView/memView are attacker keys).
+		// Both sides end with keys the attacker shares.
+		key := procDH.SessionKey(memShareSeen)
+		return SessionResult{Key: key, Compromised: true}, nil
+	}
+
+	procKey := procDH.SessionKey(memShareSeen)
+	memKey := memDH.SessionKey(procShareSeen)
+	if procKey != memKey {
+		return SessionResult{}, errors.New("keys: DH key mismatch")
+	}
+	return SessionResult{Key: procKey, Compromised: compromised}, nil
+}
+
+// SessionKeyTable maps a physical address to the session key of the memory
+// module/channel that services it (Fig 3, step 1b). Interleaving follows the
+// controller's channel-selection function, supplied by the caller.
+type SessionKeyTable struct {
+	keys      [][16]byte
+	chanOf    func(addr uint64) int
+	nChannels int
+}
+
+// NewSessionKeyTable builds a table for nChannels channels with the given
+// address-to-channel mapping.
+func NewSessionKeyTable(nChannels int, chanOf func(addr uint64) int) *SessionKeyTable {
+	if nChannels <= 0 {
+		panic("keys: need at least one channel")
+	}
+	return &SessionKeyTable{
+		keys:      make([][16]byte, nChannels),
+		chanOf:    chanOf,
+		nChannels: nChannels,
+	}
+}
+
+// SetKey installs the session key for one channel.
+func (t *SessionKeyTable) SetKey(channel int, key [16]byte) {
+	t.keys[channel] = key
+}
+
+// Lookup returns the channel index and session key for an address.
+func (t *SessionKeyTable) Lookup(addr uint64) (channel int, key [16]byte) {
+	ch := t.chanOf(addr)
+	if ch < 0 || ch >= t.nChannels {
+		panic(fmt.Sprintf("keys: channel map returned %d of %d", ch, t.nChannels))
+	}
+	return ch, t.keys[ch]
+}
+
+// KeyFor returns the session key for a channel index.
+func (t *SessionKeyTable) KeyFor(channel int) [16]byte { return t.keys[channel] }
+
+// Channels returns the channel count.
+func (t *SessionKeyTable) Channels() int { return t.nChannels }
+
+// DefaultGroupBitLen exposes the group modulus size for documentation/tests.
+func DefaultGroupBitLen() int { return groupP.BitLen() }
+
+// GroupPrimes exposes (p, q) so tests can verify the safe-prime structure.
+func GroupPrimes() (p, q *big.Int) {
+	return new(big.Int).Set(groupP), new(big.Int).Set(groupQ)
+}

@@ -1,0 +1,149 @@
+// Package keys implements the ObfusMem trust architecture of Section 3.1:
+// per-component public/private key pairs burned in by manufacturers,
+// manufacturer certification, the three trust-bootstrapping approaches
+// (naive, trusted system integrator, untrusted system integrator with
+// attestation), Diffie-Hellman session-key establishment at BIOS time, and
+// the per-channel Session Key Table consulted on every memory request
+// (Fig 3, step 1b).
+//
+// The public-key machinery is a real discrete-log construction (Schnorr
+// signatures and DH over a safe-prime group) implemented with math/big; the
+// group is deliberately small (512 bits) because this is a simulation of
+// boot-time protocol *behaviour*, not a production TLS stack.
+package keys
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+
+	"obfusmem/internal/xrand"
+)
+
+// The group: the RFC 3526 1536-bit MODP group (group 5), a safe prime
+// p = 2q+1 with generator 2 of the order-q subgroup. Verified in tests.
+var (
+	groupP, _ = new(big.Int).SetString(
+		"FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"+
+			"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"+
+			"4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"+
+			"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"+
+			"98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"+
+			"9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF", 16)
+	groupQ = new(big.Int).Rsh(new(big.Int).Sub(groupP, big.NewInt(1)), 1)
+	groupG = big.NewInt(2)
+)
+
+// randScalar draws a uniform scalar in [1, q).
+func randScalar(r *xrand.Rand) *big.Int {
+	buf := make([]byte, len(groupQ.Bytes()))
+	for {
+		r.Bytes(buf)
+		k := new(big.Int).SetBytes(buf)
+		k.Mod(k, groupQ)
+		if k.Sign() > 0 {
+			return k
+		}
+	}
+}
+
+// hashToScalar maps arbitrary byte strings into [0, q).
+func hashToScalar(parts ...[]byte) *big.Int {
+	h := sha256.New()
+	for _, p := range parts {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	e := new(big.Int).SetBytes(h.Sum(nil))
+	return e.Mod(e, groupQ)
+}
+
+// PublicKey is a group element y = g^x.
+type PublicKey struct {
+	Y *big.Int
+}
+
+// Equal reports whether two public keys are the same group element.
+func (pk PublicKey) Equal(o PublicKey) bool {
+	if pk.Y == nil || o.Y == nil {
+		return pk.Y == o.Y
+	}
+	return pk.Y.Cmp(o.Y) == 0
+}
+
+// Bytes returns a canonical encoding.
+func (pk PublicKey) Bytes() []byte { return pk.Y.Bytes() }
+
+// PrivateKey holds the secret scalar.
+type PrivateKey struct {
+	X      *big.Int
+	Public PublicKey
+}
+
+// GenerateKey creates a key pair from the simulated hardware TRNG.
+func GenerateKey(r *xrand.Rand) *PrivateKey {
+	x := randScalar(r)
+	y := new(big.Int).Exp(groupG, x, groupP)
+	return &PrivateKey{X: x, Public: PublicKey{Y: y}}
+}
+
+// Signature is a Schnorr signature (e, s).
+type Signature struct {
+	E, S *big.Int
+}
+
+// Sign produces a Schnorr signature over msg.
+func (k *PrivateKey) Sign(r *xrand.Rand, msg []byte) Signature {
+	nonce := randScalar(r)
+	rPoint := new(big.Int).Exp(groupG, nonce, groupP)
+	e := hashToScalar(rPoint.Bytes(), msg)
+	// s = nonce - x*e mod q
+	s := new(big.Int).Mul(k.X, e)
+	s.Sub(nonce, s)
+	s.Mod(s, groupQ)
+	return Signature{E: e, S: s}
+}
+
+// Verify checks a Schnorr signature against a public key.
+func (pk PublicKey) Verify(msg []byte, sig Signature) bool {
+	if pk.Y == nil || sig.E == nil || sig.S == nil {
+		return false
+	}
+	if sig.E.Sign() < 0 || sig.E.Cmp(groupQ) >= 0 || sig.S.Sign() < 0 || sig.S.Cmp(groupQ) >= 0 {
+		return false
+	}
+	// r' = g^s * y^e mod p
+	gs := new(big.Int).Exp(groupG, sig.S, groupP)
+	ye := new(big.Int).Exp(pk.Y, sig.E, groupP)
+	rPrime := gs.Mul(gs, ye)
+	rPrime.Mod(rPrime, groupP)
+	e := hashToScalar(rPrime.Bytes(), msg)
+	return e.Cmp(sig.E) == 0
+}
+
+// DHExchange holds one side of an ephemeral Diffie-Hellman exchange.
+type DHExchange struct {
+	secret *big.Int
+	Share  *big.Int // g^secret, transmitted on the bus
+}
+
+// NewDHExchange draws an ephemeral secret and computes the public share.
+func NewDHExchange(r *xrand.Rand) *DHExchange {
+	s := randScalar(r)
+	return &DHExchange{
+		secret: s,
+		Share:  new(big.Int).Exp(groupG, s, groupP),
+	}
+}
+
+// SessionKey combines the peer's share into a 16-byte AES session key.
+// Both sides derive the same key from g^(ab).
+func (d *DHExchange) SessionKey(peerShare *big.Int) [16]byte {
+	shared := new(big.Int).Exp(peerShare, d.secret, groupP)
+	sum := sha256.Sum256(shared.Bytes())
+	var key [16]byte
+	copy(key[:], sum[:16])
+	return key
+}

@@ -1,0 +1,275 @@
+package keys
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"obfusmem/internal/xrand"
+)
+
+func TestGroupIsSafePrime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("primality check is slow")
+	}
+	p, q := GroupPrimes()
+	if !p.ProbablyPrime(20) {
+		t.Fatal("group modulus p is not prime")
+	}
+	if !q.ProbablyPrime(20) {
+		t.Fatal("(p-1)/2 is not prime: p is not a safe prime")
+	}
+	// p = 2q + 1
+	check := new(big.Int).Lsh(q, 1)
+	check.Add(check, big.NewInt(1))
+	if check.Cmp(p) != 0 {
+		t.Fatal("p != 2q+1")
+	}
+	if DefaultGroupBitLen() != 1536 {
+		t.Fatalf("group bit length = %d, want 1536", DefaultGroupBitLen())
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	r := xrand.New(1)
+	k := GenerateKey(r)
+	msg := []byte("obfusmem attestation")
+	sig := k.Sign(r, msg)
+	if !k.Public.Verify(msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if k.Public.Verify([]byte("tampered"), sig) {
+		t.Fatal("signature verified for wrong message")
+	}
+	other := GenerateKey(r)
+	if other.Public.Verify(msg, sig) {
+		t.Fatal("signature verified under wrong key")
+	}
+	// Mutated signature components must fail.
+	bad := sig
+	bad.S = new(big.Int).Add(sig.S, big.NewInt(1))
+	bad.S.Mod(bad.S, new(big.Int).Set(groupQ))
+	if k.Public.Verify(msg, bad) {
+		t.Fatal("mutated signature accepted")
+	}
+}
+
+func TestVerifyRejectsMalformed(t *testing.T) {
+	r := xrand.New(2)
+	k := GenerateKey(r)
+	msg := []byte("m")
+	sig := k.Sign(r, msg)
+	if (PublicKey{}).Verify(msg, sig) {
+		t.Error("nil key verified")
+	}
+	if k.Public.Verify(msg, Signature{}) {
+		t.Error("nil signature verified")
+	}
+	big1 := new(big.Int).Set(groupQ)
+	if k.Public.Verify(msg, Signature{E: big1, S: sig.S}) {
+		t.Error("out-of-range E accepted")
+	}
+	neg := big.NewInt(-1)
+	if k.Public.Verify(msg, Signature{E: sig.E, S: neg}) {
+		t.Error("negative S accepted")
+	}
+}
+
+func TestDHSharedKey(t *testing.T) {
+	r := xrand.New(3)
+	a := NewDHExchange(r)
+	b := NewDHExchange(r)
+	ka := a.SessionKey(b.Share)
+	kb := b.SessionKey(a.Share)
+	if ka != kb {
+		t.Fatal("DH sides derived different keys")
+	}
+	c := NewDHExchange(r)
+	if kc := c.SessionKey(b.Share); kc == ka {
+		t.Fatal("third party derived the same key")
+	}
+}
+
+func TestCertificate(t *testing.T) {
+	r := xrand.New(4)
+	m := NewManufacturer("acme-mem", r)
+	comp := m.Produce(Memory, true, 2)
+	if !comp.Certificate().Verify(m.CAKey()) {
+		t.Fatal("genuine certificate rejected")
+	}
+	other := NewManufacturer("other", r)
+	if comp.Certificate().Verify(other.CAKey()) {
+		t.Fatal("certificate verified under wrong CA")
+	}
+	// A forged capability claim must break the signature.
+	forged := comp.Certificate()
+	forged.ObfusMemCap = !forged.ObfusMemCap
+	if forged.Verify(m.CAKey()) {
+		t.Fatal("forged capability bit accepted")
+	}
+}
+
+func TestWriteOnceRegisters(t *testing.T) {
+	r := xrand.New(5)
+	m := NewManufacturer("acme", r)
+	c := m.Produce(Processor, true, 1) // 1 spare => capacity 2
+	k1 := GenerateKey(r).Public
+	k2 := GenerateKey(r).Public
+	k3 := GenerateKey(r).Public
+	if err := c.BurnCounterpartKey(k1); err != nil {
+		t.Fatal(err)
+	}
+	if c.RegistersFree() != 1 {
+		t.Fatalf("RegistersFree = %d, want 1", c.RegistersFree())
+	}
+	if err := c.BurnCounterpartKey(k2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BurnCounterpartKey(k3); !errors.Is(err, ErrRegistersExhausted) {
+		t.Fatalf("third burn: err = %v, want ErrRegistersExhausted", err)
+	}
+	if !c.KnowsCounterpart(k1) || !c.KnowsCounterpart(k2) || c.KnowsCounterpart(k3) {
+		t.Fatal("KnowsCounterpart wrong")
+	}
+}
+
+func buildSystem(t *testing.T, r *xrand.Rand, honest bool, procCap, memCap bool) (*Component, *Component, PublicKey, PublicKey) {
+	t.Helper()
+	pm := NewManufacturer("procco", r)
+	mm := NewManufacturer("memco", r)
+	proc := pm.Produce(Processor, procCap, 2)
+	mem := mm.Produce(Memory, memCap, 2)
+	ig := NewIntegrator(honest, r)
+	if err := ig.Integrate(proc, mem); err != nil {
+		t.Fatal(err)
+	}
+	return proc, mem, pm.CAKey(), mm.CAKey()
+}
+
+func TestEstablishSessionAllApproachesHonest(t *testing.T) {
+	for _, a := range []Approach{Naive, TrustedIntegrator, UntrustedIntegrator} {
+		r := xrand.New(10)
+		proc, mem, pca, mca := buildSystem(t, r, true, true, true)
+		res, err := EstablishSession(a, proc, mem, pca, mca, nil, r)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if res.Compromised {
+			t.Errorf("%v: honest boot flagged compromised", a)
+		}
+		var zero [16]byte
+		if res.Key == zero {
+			t.Errorf("%v: zero session key", a)
+		}
+	}
+}
+
+func TestNaiveApproachFallsToMITM(t *testing.T) {
+	r := xrand.New(11)
+	proc, mem, pca, mca := buildSystem(t, r, true, true, true)
+	mitm := NewBootMITM(r)
+	res, err := EstablishSession(Naive, proc, mem, pca, mca, mitm, r)
+	if err != nil {
+		t.Fatalf("naive MITM should succeed silently, got error %v", err)
+	}
+	if !res.Compromised {
+		t.Fatal("naive approach under MITM must yield a compromised session")
+	}
+}
+
+func TestTrustedIntegratorResistsBusMITM(t *testing.T) {
+	r := xrand.New(12)
+	proc, mem, pca, mca := buildSystem(t, r, true, true, true)
+	mitm := NewBootMITM(r)
+	_, err := EstablishSession(TrustedIntegrator, proc, mem, pca, mca, mitm, r)
+	if !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature (burned keys defeat bus MITM)", err)
+	}
+}
+
+func TestUntrustedIntegratorCatchesWrongKeys(t *testing.T) {
+	r := xrand.New(13)
+	proc, mem, pca, mca := buildSystem(t, r, false /* dishonest */, true, true)
+	// Trusted approach silently proceeds into a broken/bogus binding;
+	// the untrusted approach's attestation must halt the system.
+	_, err := EstablishSession(UntrustedIntegrator, proc, mem, pca, mca, nil, r)
+	if !errors.Is(err, ErrAttestationFailed) {
+		t.Fatalf("err = %v, want ErrAttestationFailed", err)
+	}
+}
+
+func TestAttestationRejectsIncapableMemory(t *testing.T) {
+	r := xrand.New(14)
+	proc, mem, pca, mca := buildSystem(t, r, true, true, false /* mem not capable */)
+	_, err := EstablishSession(UntrustedIntegrator, proc, mem, pca, mca, nil, r)
+	if !errors.Is(err, ErrAttestationFailed) {
+		t.Fatalf("err = %v, want ErrAttestationFailed for non-capable memory", err)
+	}
+}
+
+func TestMeasurementVerification(t *testing.T) {
+	r := xrand.New(15)
+	mm := NewManufacturer("memco", r)
+	pm := NewManufacturer("procco", r)
+	proc := pm.Produce(Processor, true, 1)
+	mem := mm.Produce(Memory, true, 1)
+	if err := proc.BurnCounterpartKey(mem.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	m := mem.Attest()
+	if err := proc.VerifyMeasurement(m, mm.CAKey()); err != nil {
+		t.Fatalf("genuine measurement rejected: %v", err)
+	}
+	// Wrong CA.
+	if err := proc.VerifyMeasurement(m, pm.CAKey()); err == nil {
+		t.Error("measurement accepted under wrong manufacturer CA")
+	}
+	// Tampered capability bit breaks the self-signature.
+	bad := m
+	bad.ObfusMemCap = false
+	if err := proc.VerifyMeasurement(bad, mm.CAKey()); err == nil {
+		t.Error("tampered measurement accepted")
+	}
+}
+
+func TestSessionKeyTable(t *testing.T) {
+	chanOf := func(addr uint64) int { return int(addr>>6) % 4 }
+	tbl := NewSessionKeyTable(4, chanOf)
+	for i := 0; i < 4; i++ {
+		var k [16]byte
+		k[0] = byte(i + 1)
+		tbl.SetKey(i, k)
+	}
+	if tbl.Channels() != 4 {
+		t.Fatalf("Channels = %d", tbl.Channels())
+	}
+	for addr := uint64(0); addr < 1024; addr += 64 {
+		ch, key := tbl.Lookup(addr)
+		if ch != chanOf(addr) {
+			t.Fatalf("addr %#x routed to %d, want %d", addr, ch, chanOf(addr))
+		}
+		if key != tbl.KeyFor(ch) {
+			t.Fatalf("addr %#x got wrong key", addr)
+		}
+		if key[0] != byte(ch+1) {
+			t.Fatalf("channel %d key mismatch", ch)
+		}
+	}
+}
+
+func TestSessionKeysDifferPerBoot(t *testing.T) {
+	// Re-booting must produce a fresh session key (Section 3.1).
+	r1 := xrand.New(20)
+	proc, mem, pca, mca := buildSystem(t, r1, true, true, true)
+	res1, err := EstablishSession(TrustedIntegrator, proc, mem, pca, mca, nil, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := EstablishSession(TrustedIntegrator, proc, mem, pca, mca, nil, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Key == res2.Key {
+		t.Fatal("two boots derived the same session key")
+	}
+}

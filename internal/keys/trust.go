@@ -1,0 +1,200 @@
+package keys
+
+import (
+	"errors"
+	"fmt"
+
+	"obfusmem/internal/xrand"
+)
+
+// ComponentKind distinguishes the two ObfusMem TCB members.
+type ComponentKind int
+
+// Component kinds.
+const (
+	Processor ComponentKind = iota
+	Memory
+)
+
+func (k ComponentKind) String() string {
+	if k == Processor {
+		return "processor"
+	}
+	return "memory"
+}
+
+// Manufacturer acts as the certification authority for the chips it
+// produces: it generates each component's key pair, burns it into the chip,
+// and signs the public key (Section 3.1).
+type Manufacturer struct {
+	Name string
+	key  *PrivateKey
+	rng  *xrand.Rand
+}
+
+// NewManufacturer creates a manufacturer with its own CA key pair.
+func NewManufacturer(name string, r *xrand.Rand) *Manufacturer {
+	return &Manufacturer{Name: name, key: GenerateKey(r), rng: r}
+}
+
+// CAKey returns the manufacturer's public verification key.
+func (m *Manufacturer) CAKey() PublicKey { return m.key.Public }
+
+// Certificate binds a component's public key and capability flags to a
+// manufacturer signature.
+type Certificate struct {
+	Component   ComponentKind
+	ObfusMemCap bool
+	Key         PublicKey
+	Sig         Signature
+}
+
+func certMessage(kind ComponentKind, cap bool, key PublicKey) []byte {
+	msg := []byte{byte(kind)}
+	if cap {
+		msg = append(msg, 1)
+	} else {
+		msg = append(msg, 0)
+	}
+	return append(msg, key.Bytes()...)
+}
+
+// Verify checks the certificate under the manufacturer CA key.
+func (c Certificate) Verify(ca PublicKey) bool {
+	return ca.Verify(certMessage(c.Component, c.ObfusMemCap, c.Key), c.Sig)
+}
+
+// Component models one chip: its burned-in identity key, its certificate,
+// the write-once registers holding counterpart public keys, and its
+// attestation capability.
+type Component struct {
+	Kind ComponentKind
+	// ObfusMemCapable is part of the attestation measurement: a chip
+	// without the crypto engines must fail attestation in an ObfusMem
+	// system (untrusted-integrator approach).
+	ObfusMemCapable bool
+
+	identity *PrivateKey
+	cert     Certificate
+	rng      *xrand.Rand
+
+	// Write-once registers for counterpart public keys. The paper's
+	// component-upgrade story: a fixed number of spare registers are
+	// provisioned; each upgrade burns one more.
+	registers    []PublicKey
+	registerCap  int
+	manufacturer PublicKey
+}
+
+// Produce manufactures a component: generates its identity key, burns it in,
+// and issues the manufacturer certificate. spareRegisters is the number of
+// write-once counterpart-key registers provisioned beyond the first.
+func (m *Manufacturer) Produce(kind ComponentKind, obfusCapable bool, spareRegisters int) *Component {
+	id := GenerateKey(m.rng)
+	cert := Certificate{
+		Component:   kind,
+		ObfusMemCap: obfusCapable,
+		Key:         id.Public,
+	}
+	cert.Sig = m.key.Sign(m.rng, certMessage(kind, obfusCapable, id.Public))
+	return &Component{
+		Kind:            kind,
+		ObfusMemCapable: obfusCapable,
+		identity:        id,
+		cert:            cert,
+		rng:             m.rng.Fork(id.X.Uint64()),
+		registerCap:     1 + spareRegisters,
+		manufacturer:    m.CAKey(),
+	}
+}
+
+// PublicKey returns the component's burned-in public key (readable from
+// chip pins; the private key is not).
+func (c *Component) PublicKey() PublicKey { return c.identity.Public }
+
+// Certificate returns the manufacturer-signed certificate.
+func (c *Component) Certificate() Certificate { return c.cert }
+
+// ErrRegistersExhausted reports that all write-once counterpart-key
+// registers have been burned; no further component upgrades are possible.
+var ErrRegistersExhausted = errors.New("keys: write-once key registers exhausted")
+
+// BurnCounterpartKey writes a counterpart public key into the next spare
+// write-once register. This is the system integrator's job in the trusted-
+// and untrusted-integrator approaches.
+func (c *Component) BurnCounterpartKey(pk PublicKey) error {
+	if len(c.registers) >= c.registerCap {
+		return ErrRegistersExhausted
+	}
+	c.registers = append(c.registers, pk)
+	return nil
+}
+
+// KnowsCounterpart reports whether pk is in any burned register.
+func (c *Component) KnowsCounterpart(pk PublicKey) bool {
+	for _, r := range c.registers {
+		if r.Equal(pk) {
+			return true
+		}
+	}
+	return false
+}
+
+// RegistersFree returns the number of unburned registers remaining.
+func (c *Component) RegistersFree() int { return c.registerCap - len(c.registers) }
+
+// Measurement is the attestation report of Section 3.1's third approach:
+// the component measures itself (capability flags + burned-in public key)
+// and signs the measurement with its identity key.
+type Measurement struct {
+	Kind        ComponentKind
+	ObfusMemCap bool
+	Key         PublicKey
+	Cert        Certificate
+	Sig         Signature
+}
+
+func measurementMessage(kind ComponentKind, cap bool, key PublicKey) []byte {
+	msg := []byte{0xA7, byte(kind)} // domain-separate from certificates
+	if cap {
+		msg = append(msg, 1)
+	} else {
+		msg = append(msg, 0)
+	}
+	return append(msg, key.Bytes()...)
+}
+
+// Attest produces a signed self-measurement.
+func (c *Component) Attest() Measurement {
+	return Measurement{
+		Kind:        c.Kind,
+		ObfusMemCap: c.ObfusMemCapable,
+		Key:         c.identity.Public,
+		Cert:        c.cert,
+		Sig:         c.identity.Sign(c.rng, measurementMessage(c.Kind, c.ObfusMemCapable, c.identity.Public)),
+	}
+}
+
+// VerifyMeasurement checks a counterpart's attestation against the burned
+// register contents and the counterpart manufacturer's CA key. It implements
+// the verification of the untrusted-system-integrator approach: the
+// measurement must be self-consistent, manufacturer-certified,
+// ObfusMem-capable, and match a burned register.
+func (c *Component) VerifyMeasurement(m Measurement, counterpartCA PublicKey) error {
+	if !m.Key.Verify(measurementMessage(m.Kind, m.ObfusMemCap, m.Key), m.Sig) {
+		return fmt.Errorf("keys: %s measurement signature invalid", m.Kind)
+	}
+	if !m.Cert.Verify(counterpartCA) {
+		return fmt.Errorf("keys: %s certificate not signed by claimed manufacturer", m.Kind)
+	}
+	if !m.Cert.Key.Equal(m.Key) {
+		return fmt.Errorf("keys: %s certificate binds a different key", m.Kind)
+	}
+	if !m.ObfusMemCap || !m.Cert.ObfusMemCap {
+		return fmt.Errorf("keys: %s is not ObfusMem-capable", m.Kind)
+	}
+	if !c.KnowsCounterpart(m.Key) {
+		return fmt.Errorf("keys: integrator burned wrong %s key (attestation mismatch)", m.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package md5sim
+
+import (
+	"bytes"
+	stdmd5 "crypto/md5"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+
+	"obfusmem/internal/xrand"
+)
+
+// RFC 1321 Appendix A.5 test suite.
+func TestRFC1321Vectors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "d41d8cd98f00b204e9800998ecf8427e"},
+		{"a", "0cc175b9c0f1b6a831c399e269772661"},
+		{"abc", "900150983cd24fb0d6963f7d28e17f72"},
+		{"message digest", "f96b697d7cb7938d525a2f31aaf161d0"},
+		{"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"},
+		{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+			"d174ab98d277d9f5a5611c2c9f419d9f"},
+		{"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+			"57edf4a22be3c955ac49da2e2107b67a"},
+	}
+	for _, c := range cases {
+		got := Digest([]byte(c.in))
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("Digest(%q) = %x, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	r := xrand.New(2)
+	for i := 0; i < 100; i++ {
+		n := r.Intn(300)
+		msg := make([]byte, n)
+		r.Bytes(msg)
+		got := Digest(msg)
+		want := stdmd5.Sum(msg)
+		if !bytes.Equal(got[:], want[:]) {
+			t.Fatalf("len %d: got %x want %x", n, got, want)
+		}
+	}
+}
+
+// Messages near block boundaries exercise the padding logic.
+func TestPaddingBoundaries(t *testing.T) {
+	for _, n := range []int{54, 55, 56, 57, 63, 64, 65, 119, 120, 128} {
+		msg := bytes.Repeat([]byte{0x42}, n)
+		got := Digest(msg)
+		want := stdmd5.Sum(msg)
+		if !bytes.Equal(got[:], want[:]) {
+			t.Errorf("len %d digest mismatch", n)
+		}
+	}
+}
+
+func TestDigestPropertyMatchesStdlib(t *testing.T) {
+	f := func(msg []byte) bool {
+		got := Digest(msg)
+		want := stdmd5.Sum(msg)
+		return bytes.Equal(got[:], want[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeMAC(t *testing.T) {
+	m1 := Compute(1, 0x1000, 42)
+	m2 := Compute(1, 0x1000, 42)
+	if m1 != m2 {
+		t.Fatal("MAC not deterministic")
+	}
+	// Each component change flips the MAC (the tampering scenarios of §3.5).
+	if Compute(2, 0x1000, 42) == m1 {
+		t.Error("type change did not change MAC")
+	}
+	if Compute(1, 0x1040, 42) == m1 {
+		t.Error("address change did not change MAC")
+	}
+	if Compute(1, 0x1000, 43) == m1 {
+		t.Error("counter change did not change MAC (replay would succeed)")
+	}
+}
+
+func TestComputeOverMessage(t *testing.T) {
+	a := ComputeOverMessage([]byte("hello"))
+	b := ComputeOverMessage([]byte("hellp"))
+	if a == b {
+		t.Error("distinct messages produced identical MACs")
+	}
+	if a != ComputeOverMessage([]byte("hello")) {
+		t.Error("MAC not deterministic")
+	}
+}
+
+func TestUnitTimingOverlap(t *testing.T) {
+	u := NewUnit("mac")
+	// encrypt-and-MAC: issue at t=0, overlapping an encryption that also
+	// starts at 0; both done by max of the two latencies.
+	done := u.Issue(0)
+	if done != UnitLatency {
+		t.Fatalf("done = %v, want %v", done, UnitLatency)
+	}
+	// Pipelined: second digest one cycle later.
+	done2 := u.Issue(0)
+	if done2 != UnitLatency+UnitCycle {
+		t.Fatalf("done2 = %v, want %v", done2, UnitLatency+UnitCycle)
+	}
+	if u.Digests() != 2 {
+		t.Fatalf("Digests = %d", u.Digests())
+	}
+	if e := u.EnergyPJ(); e != 2*MACEnergyPJ {
+		t.Fatalf("EnergyPJ = %v", e)
+	}
+	u.Reset()
+	if u.Digests() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func BenchmarkDigest17(b *testing.B) {
+	msg := make([]byte, 17)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Digest(msg)
+	}
+}

@@ -1,0 +1,175 @@
+// Package merkle implements the Merkle-tree integrity verification that the
+// paper assumes of every secure-processor baseline (Section 2.1, [43]): a
+// hash tree over memory blocks whose root lives on the processor chip, with
+// an on-chip node cache so that verification traffic is amortised.
+//
+// In ObfusMem the tree detects unauthorised modification of data *at rest*
+// in memory, complementing the bus MAC of Section 3.5, which detects
+// tampering of requests *in flight*. The paper's Observation 4 notes that
+// tampering of written data is relegated to this tree and detected when the
+// data is next read.
+package merkle
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"obfusmem/internal/md5sim"
+)
+
+// Hash is a tree node digest.
+type Hash [md5sim.Size]byte
+
+func leafHash(addr uint64, data []byte) Hash {
+	buf := make([]byte, 8+len(data))
+	binary.BigEndian.PutUint64(buf, addr)
+	copy(buf[8:], data)
+	return Digestize(buf)
+}
+
+func nodeHash(l, r Hash) Hash {
+	var buf [2 * md5sim.Size]byte
+	copy(buf[:md5sim.Size], l[:])
+	copy(buf[md5sim.Size:], r[:])
+	return Digestize(buf[:])
+}
+
+// Digestize hashes arbitrary bytes into a node digest.
+func Digestize(b []byte) Hash { return md5sim.Digest(b) }
+
+// Stats counts tree activity.
+type Stats struct {
+	Verifies    uint64
+	Updates     uint64
+	NodeReads   uint64 // tree nodes touched during verification
+	CachedReads uint64 // of which served by the on-chip node cache
+	Mismatches  uint64
+}
+
+// Tree is a binary Merkle tree over a fixed number of blocks. Blocks default
+// to the hash of zero-filled data.
+type Tree struct {
+	blocks     int
+	levels     int
+	blockBytes int
+	nodes      [][]Hash // nodes[0] = leaves ... nodes[levels-1] = [root]
+	// cached marks nodes held in the on-chip node cache: the top cacheTop
+	// levels of the tree, the standard approximation for an amortised
+	// Bonsai-style tree.
+	cacheTop int
+	stats    Stats
+}
+
+// New builds a tree over `blocks` zero-initialised blocks of blockBytes.
+// blocks must be a power of two. cacheTopLevels is how many levels nearest
+// the root are pinned on chip (>= 1; the root is always on chip).
+func New(blocks, blockBytes, cacheTopLevels int) *Tree {
+	if blocks <= 0 || blocks&(blocks-1) != 0 {
+		panic(fmt.Sprintf("merkle: block count %d not a power of two", blocks))
+	}
+	if cacheTopLevels < 1 {
+		cacheTopLevels = 1
+	}
+	levels := 1
+	for n := blocks; n > 1; n >>= 1 {
+		levels++
+	}
+	t := &Tree{blocks: blocks, levels: levels, blockBytes: blockBytes, cacheTop: cacheTopLevels}
+	t.nodes = make([][]Hash, levels)
+	zero := make([]byte, blockBytes)
+	n := blocks
+	for lvl := 0; lvl < levels; lvl++ {
+		t.nodes[lvl] = make([]Hash, n)
+		n >>= 1
+	}
+	for i := 0; i < blocks; i++ {
+		t.nodes[0][i] = leafHash(uint64(i), zero)
+	}
+	for lvl := 1; lvl < levels; lvl++ {
+		for i := range t.nodes[lvl] {
+			t.nodes[lvl][i] = nodeHash(t.nodes[lvl-1][2*i], t.nodes[lvl-1][2*i+1])
+		}
+	}
+	return t
+}
+
+// Blocks returns the leaf count.
+func (t *Tree) Blocks() int { return t.blocks }
+
+// Levels returns the tree height including the leaf level.
+func (t *Tree) Levels() int { return t.levels }
+
+// Root returns the on-chip root digest.
+func (t *Tree) Root() Hash { return t.nodes[t.levels-1][0] }
+
+// Stats returns a copy of the counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// Update recomputes the path for a written block. Called on every memory
+// writeback.
+func (t *Tree) Update(block int, data []byte) {
+	t.checkBlock(block)
+	t.stats.Updates++
+	t.nodes[0][block] = leafHash(uint64(block), data)
+	i := block
+	for lvl := 1; lvl < t.levels; lvl++ {
+		i >>= 1
+		t.nodes[lvl][i] = nodeHash(t.nodes[lvl-1][2*i], t.nodes[lvl-1][2*i+1])
+	}
+}
+
+// Verify checks a block read against the tree, walking from the leaf to the
+// first cached level. It returns false if the data does not match the tree
+// (in-memory tampering detected).
+func (t *Tree) Verify(block int, data []byte) bool {
+	t.checkBlock(block)
+	t.stats.Verifies++
+	h := leafHash(uint64(block), data)
+	if t.nodes[0][block] != h {
+		t.stats.Mismatches++
+		return false
+	}
+	// Walk upwards recomputing; count node fetches below the cached top.
+	i := block
+	for lvl := 1; lvl < t.levels; lvl++ {
+		i >>= 1
+		if lvl >= t.levels-t.cacheTop {
+			t.stats.CachedReads++
+		} else {
+			t.stats.NodeReads++
+		}
+		recomputed := nodeHash(t.nodes[lvl-1][2*i], t.nodes[lvl-1][2*i+1])
+		if t.nodes[lvl][i] != recomputed {
+			t.stats.Mismatches++
+			return false
+		}
+	}
+	return true
+}
+
+// TamperLeaf corrupts a stored leaf hash, modelling an attacker who rewrote
+// memory contents (including a consistent leaf recomputation) but cannot
+// forge the upper tree. Returns the previous value.
+func (t *Tree) TamperLeaf(block int, h Hash) Hash {
+	t.checkBlock(block)
+	old := t.nodes[0][block]
+	t.nodes[0][block] = h
+	return old
+}
+
+func (t *Tree) checkBlock(block int) {
+	if block < 0 || block >= t.blocks {
+		panic(fmt.Sprintf("merkle: block %d out of %d", block, t.blocks))
+	}
+}
+
+// VerificationNodeReads estimates the per-read verification traffic: the
+// number of off-chip node fetches for a random block, given the cached top
+// levels.
+func (t *Tree) VerificationNodeReads() int {
+	n := t.levels - 1 - t.cacheTop
+	if n < 0 {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+package merkle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"obfusmem/internal/xrand"
+)
+
+func TestFreshTreeVerifiesZeros(t *testing.T) {
+	tr := New(16, 64, 2)
+	zero := make([]byte, 64)
+	for i := 0; i < 16; i++ {
+		if !tr.Verify(i, zero) {
+			t.Fatalf("fresh block %d failed verification", i)
+		}
+	}
+	if tr.Stats().Mismatches != 0 {
+		t.Fatal("spurious mismatches")
+	}
+}
+
+func TestUpdateThenVerify(t *testing.T) {
+	tr := New(16, 64, 1)
+	data := make([]byte, 64)
+	xrand.New(1).Bytes(data)
+	root0 := tr.Root()
+	tr.Update(5, data)
+	if tr.Root() == root0 {
+		t.Fatal("root unchanged after update")
+	}
+	if !tr.Verify(5, data) {
+		t.Fatal("updated block failed verification")
+	}
+	// Old data must now fail.
+	if tr.Verify(5, make([]byte, 64)) {
+		t.Fatal("stale data verified after update")
+	}
+}
+
+func TestTamperedDataDetected(t *testing.T) {
+	tr := New(64, 64, 2)
+	data := make([]byte, 64)
+	xrand.New(2).Bytes(data)
+	tr.Update(10, data)
+	tampered := append([]byte(nil), data...)
+	tampered[0] ^= 0x01
+	if tr.Verify(10, tampered) {
+		t.Fatal("single-bit tamper not detected")
+	}
+	if tr.Stats().Mismatches == 0 {
+		t.Fatal("mismatch not counted")
+	}
+}
+
+func TestTamperedLeafHashDetected(t *testing.T) {
+	// Attacker rewrites the leaf hash consistently with forged data, but
+	// cannot fix the parents: path verification catches it.
+	tr := New(32, 64, 1)
+	forged := make([]byte, 64)
+	forged[0] = 0xEE
+	fh := Digestize(append([]byte{0, 0, 0, 0, 0, 0, 0, 3}, forged...))
+	tr.TamperLeaf(3, fh)
+	if tr.Verify(3, forged) {
+		// The leaf compare might pass only if the attacker matched our
+		// leaf-hash formula; the parent check must still fail.
+		t.Fatal("forged leaf accepted")
+	}
+}
+
+func TestVerifyCountsNodeTraffic(t *testing.T) {
+	tr := New(256, 64, 3) // 9 levels, top 3 cached
+	data := make([]byte, 64)
+	tr.Verify(0, data)
+	st := tr.Stats()
+	wantOffChip := uint64(tr.VerificationNodeReads())
+	if st.NodeReads != wantOffChip {
+		t.Fatalf("NodeReads = %d, want %d", st.NodeReads, wantOffChip)
+	}
+	if st.CachedReads != 3 {
+		t.Fatalf("CachedReads = %d, want 3", st.CachedReads)
+	}
+}
+
+func TestRootStableUnderVerify(t *testing.T) {
+	tr := New(8, 64, 1)
+	r := tr.Root()
+	tr.Verify(0, make([]byte, 64))
+	if tr.Root() != r {
+		t.Fatal("Verify mutated the tree")
+	}
+}
+
+func TestLevelsAndBlocks(t *testing.T) {
+	tr := New(1024, 64, 1)
+	if tr.Blocks() != 1024 {
+		t.Fatalf("Blocks = %d", tr.Blocks())
+	}
+	if tr.Levels() != 11 {
+		t.Fatalf("Levels = %d, want 11", tr.Levels())
+	}
+}
+
+func TestNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(12,...) did not panic")
+		}
+	}()
+	New(12, 64, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	tr := New(8, 64, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Verify(8) did not panic")
+		}
+	}()
+	tr.Verify(8, make([]byte, 64))
+}
+
+// Property: after any sequence of updates, every block verifies with its
+// latest data and fails with any other block's data.
+func TestUpdateVerifyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		tr := New(16, 16, 1)
+		latest := make([][]byte, 16)
+		for i := range latest {
+			latest[i] = make([]byte, 16) // zeros initially
+		}
+		for op := 0; op < 60; op++ {
+			b := r.Intn(16)
+			d := make([]byte, 16)
+			r.Bytes(d)
+			tr.Update(b, d)
+			latest[b] = d
+		}
+		for b := 0; b < 16; b++ {
+			if !tr.Verify(b, latest[b]) {
+				return false
+			}
+			wrong := append([]byte(nil), latest[b]...)
+			wrong[r.Intn(16)] ^= byte(1 + r.Intn(255))
+			if tr.Verify(b, wrong) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	tr := New(1<<12, 64, 1)
+	data := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Update(i&(1<<12-1), data)
+	}
+}

@@ -1,0 +1,440 @@
+package obfus
+
+import (
+	"fmt"
+
+	"obfusmem/internal/aes"
+	"obfusmem/internal/bus"
+	"obfusmem/internal/cache"
+	"obfusmem/internal/keys"
+	"obfusmem/internal/md5sim"
+	"obfusmem/internal/memctl"
+	"obfusmem/internal/sim"
+	"obfusmem/internal/xrand"
+)
+
+// XORLatency is the only serial encryption cost on the critical path when
+// pads are pre-generated (Fig 2/3): one core cycle for the final XOR.
+const XORLatency = cache.CPUCycle
+
+// writeQueueCap bounds the per-channel pending-write buffer used by the
+// substitute-real optimisation; beyond it the oldest write drains with a
+// dummy read, like a real write buffer under pressure.
+const writeQueueCap = 8
+
+// FrontEndTime is the occupancy of the shared processor-side ObfusMem
+// front end (session-key lookup, request assembly, dummy generation —
+// Fig 3 steps 1a-1d) per request pair. The front end is one unit shared by
+// all channels, and to keep the real channel indistinguishable the dummy
+// pairs of the inter-channel policy issue *before* the real pair, so every
+// injected pair delays the real request by one front-end slot — the cost
+// that makes the UNOPT policy increasingly expensive as channels grow
+// (Observation 6).
+const FrontEndTime = 6 * sim.Nanosecond
+
+// MACExposed is the residual request-path MAC latency not hidden by the
+// predictor-based anticipation of Section 3.5 (the tail of mispredicted
+// requests).
+const MACExposed = 8 * sim.Nanosecond
+
+// SerDesLatency is the packetisation cost of the smart-memory interface at
+// each chip crossing: serialise/deserialise, framing, and CRC of the
+// encrypted request packets (ObfusMem requires a packet interface; the
+// unprotected DDR baseline drives address pins directly).
+const SerDesLatency = 4 * sim.Nanosecond
+
+// OPTWindow is the observation granularity the OPT policy assumes: a
+// channel whose request link carried any packet within this window is
+// already indistinguishable from active, so no dummy is needed there
+// (Observation 3: "when memory channel bandwidth utilization is high, few
+// dummy requests are needed").
+const OPTWindow = 100 * sim.Nanosecond
+
+// Stats aggregates controller activity.
+type Stats struct {
+	RealReads         uint64
+	RealWrites        uint64
+	DummyReads        uint64
+	DummyWrites       uint64
+	InterChannelPairs uint64
+	SubstitutedPairs  uint64
+	DroppedAtMemory   uint64 // fixed-address dummies discarded (Obs. 2)
+	DummyPCMWrites    uint64 // original/random designs: dummies that hit PCM
+	DummyPCMReads     uint64
+	MACsComputed      uint64
+	TamperDetected    uint64
+	DecodeMismatches  uint64 // decoded (type,addr) != ground truth (desync)
+	RequestsLost      uint64 // dropped in flight, never reached memory
+	IdleEpochFills    uint64 // timing-oblivious: dummy pairs on idle epochs
+}
+
+type pendingWrite struct {
+	at   sim.Time
+	addr uint64
+	// atRestReady is when the ciphertext-at-rest is available (from the
+	// memory-encryption engine); the bus transfer cannot start earlier.
+	atRestReady sim.Time
+	// data, when non-nil, is the at-rest ciphertext block to carry through
+	// the value-level datapath.
+	data *memctl.Block
+}
+
+// chanState is one channel's cryptographic endpoints: an AES engine and an
+// MD5 unit per side, and the synchronised session counters.
+type chanState struct {
+	key [16]byte
+	// Each side has dedicated engines per traffic direction so the
+	// request stream and the reply stream each see time-monotonic issue
+	// order (they are independent pipelines in hardware, and modelling
+	// them as one resource would serialise a request behind the
+	// *previous* request's reply decode).
+	procReqEng  *aes.Engine  // request-path pads (cmd + dummy data)
+	procRespEng *aes.Engine  // reply transit decryption
+	memReqEng   *aes.Engine  // request decode
+	memRespEng  *aes.Engine  // reply transit encryption
+	procMAC     *md5sim.Unit // request-path MAC generation
+	procVerMAC  *md5sim.Unit // reply verification digests
+	memMAC      *md5sim.Unit
+
+	reqCtr      uint64 // proc->mem pad counter (proc's view)
+	memReqCtr   uint64 // memory's view; diverges if packets are dropped
+	memParity   int    // which half of the current pair memory expects next
+	respCtr     uint64 // mem->proc pad counter
+	procRespCtr uint64
+
+	dummyAddr uint64 // the reserved fixed dummy block on this module
+	writes    []pendingWrite
+	// lastReqWire is when the channel's request link last carried a
+	// packet; the OPT policy treats a channel as covered while that
+	// activity is within the observation window.
+	lastReqWire sim.Time
+	// lastEpoch is the most recent issue slot under timing-oblivious
+	// operation.
+	lastEpoch sim.Time
+}
+
+// Controller is the paired processor-side / memory-side ObfusMem logic over
+// all channels.
+type Controller struct {
+	cfg      Config
+	bus      *bus.Bus
+	mem      *memctl.Controller
+	table    *keys.SessionKeyTable
+	chans    []*chanState
+	rng      *xrand.Rand
+	stats    Stats
+	seq      uint64
+	frontEnd *sim.Resource
+	// lastReadData holds the most recent value-carrying read result (the
+	// flows are synchronous, so this is just plumbing, not shared state).
+	lastReadData memctl.Block
+	// memCapacity bounds random dummy addresses.
+	memCapacity uint64
+}
+
+// New wires a controller. The session key table must hold one key per bus
+// channel (from the boot-time establishment in the keys package).
+func New(cfg Config, b *bus.Bus, mem *memctl.Controller, table *keys.SessionKeyTable, rng *xrand.Rand) *Controller {
+	if b.Channels() != table.Channels() {
+		panic("obfus: bus and key table disagree on channel count")
+	}
+	c := &Controller{
+		cfg:         cfg,
+		bus:         b,
+		mem:         mem,
+		table:       table,
+		rng:         rng,
+		frontEnd:    sim.NewResource("obfus-frontend"),
+		memCapacity: 8 << 30,
+	}
+	for ch := 0; ch < b.Channels(); ch++ {
+		key := table.KeyFor(ch)
+		cipher, err := aes.NewCipher(key[:])
+		if err != nil {
+			panic("obfus: bad session key: " + err.Error())
+		}
+		// Both sides derive engines from the same session key; counters
+		// start synchronised at zero.
+		memCipher, _ := aes.NewCipher(key[:])
+		memCipher2, _ := aes.NewCipher(key[:])
+		procCipher2, _ := aes.NewCipher(key[:])
+		// Each channel direction needs pad throughput matching the
+		// 12.8 GB/s link (one 16-byte pad per 1.25 ns); a single
+		// 4 ns-cycle AES engine sustains a quarter of that, so each
+		// direction on each side provisions four interleaved lanes
+		// (8 x 0.204 mm² per side — still negligible area).
+		const laneInterval = aes.EngineCycle / 4
+		mk := func(name string, c *aes.Cipher) *aes.Engine {
+			return aes.NewEngineTimed(name, c, aes.EngineLatency, laneInterval)
+		}
+		cs := &chanState{
+			key:         key,
+			procReqEng:  mk(fmt.Sprintf("proc-req-aes%d", ch), cipher),
+			procRespEng: mk(fmt.Sprintf("proc-resp-aes%d", ch), procCipher2),
+			memReqEng:   mk(fmt.Sprintf("mem-req-aes%d", ch), memCipher),
+			memRespEng:  mk(fmt.Sprintf("mem-resp-aes%d", ch), memCipher2),
+			procMAC:     md5sim.NewUnit(fmt.Sprintf("proc-md5%d", ch)),
+			procVerMAC:  md5sim.NewUnit(fmt.Sprintf("proc-ver-md5%d", ch)),
+			memMAC:      md5sim.NewUnit(fmt.Sprintf("mem-md5%d", ch)),
+		}
+		// Reserve one block at the top of this channel's address space as
+		// the fixed dummy target (Observation 2); it must decode to this
+		// channel under the controller's interleaving.
+		for a := c.memCapacity - uint64(b.Channels())*4096; ; a += 64 {
+			if mem.Mapper().ChannelOf(a) == ch {
+				cs.dummyAddr = a
+				break
+			}
+		}
+		c.chans = append(c.chans, cs)
+	}
+	return c
+}
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Config returns the design point.
+func (c *Controller) Config() Config { return c.cfg }
+
+// ChannelOf exposes the address-to-channel routing.
+func (c *Controller) ChannelOf(addr uint64) int { return c.mem.Mapper().ChannelOf(addr) }
+
+// pregenReady models counter-mode pad pre-generation: the pads for the next
+// counters can be produced before the request exists, so pipeline latency
+// is hidden; sustained throughput is not. It returns when the XOR output of
+// n pads issued logically at `at` is available.
+func pregenReady(e *aes.Engine, at sim.Time, n int) sim.Time {
+	done := e.IssueOnly(at, n)
+	idealDone := at + e.Latency() + sim.Time(n-1)*e.Interval()
+	backlog := done - idealDone
+	return at + backlog + XORLatency
+}
+
+// macRequestReady models the request-path MAC. Under encrypt-and-MAC the
+// components (type, address, counter) are anticipated by stream/LRU
+// predictors (Section 3.5), hiding the digest latency; under
+// encrypt-then-MAC the digest must follow encryption completion.
+func macRequestReady(u *md5sim.Unit, mode MACMode, at, encReady sim.Time) sim.Time {
+	switch mode {
+	case MACNone:
+		return encReady
+	case EncryptAndMAC:
+		done := u.Issue(at)
+		idealDone := at + md5sim.UnitLatency
+		backlog := done - idealDone
+		// The stream/LRU anticipation of Section 3.5 hides most but not
+		// all of the digest latency: mispredicted requests expose a
+		// residual tail.
+		r := at + backlog + MACExposed
+		if encReady > r {
+			r = encReady
+		}
+		return r
+	case EncryptThenMAC:
+		return u.Issue(encReady)
+	default:
+		panic("obfus: unknown MAC mode")
+	}
+}
+
+// macReplyReady models the reply-path MAC at the memory side. Under
+// encrypt-and-MAC the tag covers (type|address|counter) — all known at
+// request-decode time — so it is computed in parallel with the PCM access
+// and *trails* the data on the wire; the processor consumes the reply
+// speculatively and aborts on a late mismatch (the same lazy-verification
+// discipline the paper applies to Merkle checks). It therefore adds no
+// latency, only MD5 throughput and 8 wire bytes. Under encrypt-then-MAC
+// the digest must cover the encrypted reply and serialises after it.
+func macReplyReady(u *md5sim.Unit, mode MACMode, decodeAt, dataReady sim.Time) sim.Time {
+	switch mode {
+	case MACNone:
+		return dataReady
+	case EncryptAndMAC:
+		u.Issue(decodeAt)
+		return dataReady
+	case EncryptThenMAC:
+		return u.Issue(dataReady)
+	default:
+		panic("obfus: unknown MAC mode")
+	}
+}
+
+func (c *Controller) dummyAddrFor(cs *chanState, realAddr uint64, ch int) uint64 {
+	switch c.cfg.Dummy {
+	case FixedAddress:
+		return cs.dummyAddr
+	case OriginalAddress:
+		return realAddr
+	default: // RandomAddress: uniform block on the same channel
+		for {
+			a := (c.rng.Uint64() % c.memCapacity) &^ 63
+			if c.mem.Mapper().ChannelOf(a) == ch {
+				return a
+			}
+		}
+	}
+}
+
+// sendPacket encrypts (functionally), MACs, and transfers one request
+// packet; it returns the memory-side decode-complete time and the packet as
+// delivered (nil if dropped in flight). readyAt is when the packet may
+// first occupy the bus.
+// sealPayload transit-encrypts a value-carrying payload (nil passthrough).
+func (c *Controller) sealPayload(cs *chanState, ch int, padBase uint64, data *memctl.Block) []byte {
+	if data == nil {
+		return nil
+	}
+	return c.transitSealRequest(cs, ch, padBase, data)
+}
+
+func (c *Controller) sendPacket(cs *chanState, ch int, readyAt sim.Time,
+	t bus.ReqType, addr uint64, isDummy bool, withData bool, padCtr uint64, payload []byte) (sim.Time, *bus.Packet) {
+
+	plain := encodeCmd(t, addr)
+	pad := cs.procReqEng.CTR().Pad(aes.IV{ID: uint64(ch), Counter: padCtr})
+	pkt := &bus.Packet{
+		Channel:   ch,
+		Dir:       bus.ProcToMem,
+		CmdCipher: sealCmd(plain, pad),
+		HasCmd:    true,
+		Type:      t,
+		Addr:      addr,
+		IsDummy:   isDummy,
+		Counter:   padCtr,
+		Seq:       c.seq,
+	}
+	c.seq++
+	if withData {
+		if payload != nil {
+			pkt.Data = payload
+		} else {
+			pkt.Data = make([]byte, bus.DataBytes) // timing-only path: contents elided
+		}
+	}
+	if c.cfg.MAC != MACNone {
+		pkt.HasMAC = true
+		pkt.MAC = uint64(md5sim.Compute(byte(t), addr, padCtr))
+		c.stats.MACsComputed++
+	}
+	arrive, delivered := c.bus.Transfer(readyAt, pkt)
+	return arrive, delivered
+}
+
+// memSlot returns the pad counter the memory side uses for the next command
+// it receives, following the pair schedule of Fig 3: the first command of a
+// pair decodes at ctr, the second at ctr+1, and the pair consumes six
+// counters (the other four covered the data pads). Dropped packets shift
+// the schedule and desynchronise the sides — which is what makes deletion
+// attacks detectable.
+func (cs *chanState) memSlot(symmetric bool) uint64 {
+	if symmetric {
+		ctr := cs.memReqCtr
+		cs.memReqCtr += 5
+		return ctr
+	}
+	ctr := cs.memReqCtr + uint64(cs.memParity)
+	if cs.memParity == 0 {
+		cs.memParity = 1
+	} else {
+		cs.memParity = 0
+		cs.memReqCtr += 6
+	}
+	return ctr
+}
+
+// memDecode models the memory side receiving a request packet: pad decode
+// (pre-generated, XOR only), MAC verification, and counter advance. It
+// returns the decoded command, the time decoding completed, and whether the
+// request was accepted.
+func (c *Controller) memDecode(cs *chanState, ch int, arrive sim.Time, delivered *bus.Packet) (t bus.ReqType, addr uint64, decodeDone sim.Time, ok bool) {
+	if delivered == nil {
+		// Dropped in flight: the memory never sees it, so its counter
+		// does not advance and the two sides desynchronise.
+		c.stats.RequestsLost++
+		return 0, 0, arrive, false
+	}
+	ctr := cs.memSlot(c.cfg.Symmetric)
+	pad := cs.memReqEng.CTR().Pad(aes.IV{ID: uint64(ch), Counter: ctr})
+	decodeDone = pregenReady(cs.memReqEng, arrive, 1) + SerDesLatency
+	t, addr = openCmd(delivered.CmdCipher, pad)
+	if c.cfg.MAC != MACNone {
+		expect := uint64(md5sim.Compute(byte(t), addr, ctr))
+		cs.memMAC.Issue(arrive) // verification digest (off the PCM critical path)
+		if expect != delivered.MAC {
+			c.stats.TamperDetected++
+			return t, addr, decodeDone, false
+		}
+	} else if t != delivered.Type || addr != delivered.Addr {
+		// Without a MAC the memory cannot *detect* the mismatch; we count
+		// it from ground truth to quantify silent corruption.
+		c.stats.DecodeMismatches++
+		return t, addr, decodeDone, false
+	}
+	return t, addr, decodeDone, true
+}
+
+// reply sends a data reply (real ciphertext or dummy garbage) back to the
+// processor; it returns the time plaintext-at-rest ciphertext is available
+// processor-side, and whether the reply was delivered and authentic.
+func (c *Controller) reply(cs *chanState, ch int, readyAt sim.Time, forDummy bool, reqAddr uint64, decodeAt sim.Time) (sim.Time, bool) {
+	return c.replyData(cs, ch, readyAt, forDummy, reqAddr, decodeAt, false, nil)
+}
+
+// replyData is reply with an optional value-carrying payload (the stored
+// block, already transit-encrypted by the memory side).
+func (c *Controller) replyData(cs *chanState, ch int, readyAt sim.Time, forDummy bool, reqAddr uint64, decodeAt sim.Time, wantData bool, wire []byte) (sim.Time, bool) {
+	pkt := &bus.Packet{
+		Channel: ch,
+		Dir:     bus.MemToProc,
+		Data:    make([]byte, bus.DataBytes),
+		Type:    bus.Read,
+		Addr:    reqAddr,
+		IsDummy: forDummy,
+	}
+	if wire != nil {
+		pkt.Data = wire
+	}
+	var sendReady sim.Time
+	if forDummy {
+		// Random garbage: no pads, no counter use; indistinguishable from
+		// ciphertext on the wire.
+		sendReady = readyAt
+	} else {
+		// Encrypt the (already at-rest-encrypted) data for bus transit
+		// with 4 pre-generated pads (Observation 1).
+		sendReady = pregenReady(cs.memRespEng, readyAt, 4)
+		pkt.Counter = cs.respCtr
+		cs.respCtr += 4
+	}
+	if c.cfg.MAC != MACNone {
+		pkt.HasMAC = true
+		pkt.MAC = uint64(md5sim.Compute(byte(bus.Read), reqAddr, pkt.Counter))
+		c.stats.MACsComputed++
+		sendReady = macReplyReady(cs.memMAC, c.cfg.MAC, decodeAt, sendReady)
+	}
+	arrive, delivered := c.bus.Transfer(sendReady, pkt)
+	if delivered == nil {
+		c.stats.RequestsLost++
+		return arrive, false
+	}
+	if forDummy {
+		return arrive, true
+	}
+	// Processor-side transit decryption (pre-generated pads) and MAC check.
+	done := pregenReady(cs.procRespEng, arrive, 4) + SerDesLatency
+	ctr := cs.procRespCtr
+	cs.procRespCtr += 4
+	if wantData && delivered.Data != nil {
+		c.lastReadData = c.transitOpenReply(cs, ch, ctr, delivered.Data)
+	}
+	if c.cfg.MAC != MACNone {
+		cs.procVerMAC.Issue(arrive)
+		expect := uint64(md5sim.Compute(byte(bus.Read), delivered.Addr, ctr))
+		if expect != delivered.MAC || ctr != delivered.Counter {
+			c.stats.TamperDetected++
+			return done, false
+		}
+	}
+	return done, true
+}

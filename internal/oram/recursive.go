@@ -1,0 +1,195 @@
+package oram
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"obfusmem/internal/xrand"
+)
+
+// Recursive is a recursive Path ORAM: the position map of the data ORAM is
+// itself stored in a smaller ORAM, and so on, until the top-level map fits
+// on chip. This removes the on-chip PosMap the paper's base Path ORAM
+// assumes (Section 6.1 notes PosMap secrecy otherwise requires "placing it
+// on a separate ORAM") at the cost of one extra ORAM access per recursion
+// level per logical access.
+type Recursive struct {
+	data *ORAM
+	// maps[0] stores leaves for data blocks; maps[j] stores leaves for
+	// maps[j-1] blocks. The last level's leaves live on chip.
+	maps   []*ORAM
+	onchip []int
+	rng    *xrand.Rand
+
+	// LabelsPerBlock leaves packed per 64-byte position-map block.
+	labelsPerBlock int
+
+	accesses uint64
+}
+
+// labelBytes is the wire size of one packed leaf label.
+const labelBytes = 4
+
+// unassigned marks a label slot whose block has not been externally
+// remapped yet; the level below still holds its construction-time leaf.
+const unassigned = ^uint32(0)
+
+// NewRecursive builds a recursive ORAM over nBlocks data blocks.
+// onChipLimit bounds the top-level map size (entries kept on chip).
+func NewRecursive(cfg Config, nBlocks, onChipLimit int, rng *xrand.Rand) (*Recursive, error) {
+	if onChipLimit < 1 {
+		onChipLimit = 64
+	}
+	data, err := New(cfg, nBlocks, rng.Fork(0))
+	if err != nil {
+		return nil, err
+	}
+	r := &Recursive{data: data, rng: rng, labelsPerBlock: 64 / labelBytes}
+
+	// Build successively smaller position-map ORAMs.
+	entries := nBlocks
+	levelCfg := cfg
+	for entries > onChipLimit {
+		mapBlocks := (entries + r.labelsPerBlock - 1) / r.labelsPerBlock
+		// Shrink the tree as the maps shrink, keeping >= 2x slack.
+		lv := 2
+		for (1<<(lv+1)-1)*levelCfg.Z/2 < mapBlocks+1 {
+			lv++
+		}
+		mc := Config{Levels: lv, Z: cfg.Z, StashCapacity: cfg.StashCapacity, BlockBytes: 64}
+		m, err := New(mc, mapBlocks, rng.Fork(uint64(len(r.maps))+1))
+		if err != nil {
+			return nil, fmt.Errorf("oram: recursive level %d: %w", len(r.maps), err)
+		}
+		r.maps = append(r.maps, m)
+		entries = mapBlocks
+	}
+	// Top-level leaves live on chip, initialised from the top map's (or
+	// the data ORAM's, if no maps were needed) construction-time posmap.
+	top := data
+	if len(r.maps) > 0 {
+		top = r.maps[len(r.maps)-1]
+	}
+	r.onchip = make([]int, entries)
+	for i := range r.onchip {
+		r.onchip[i] = top.Leaf(i)
+	}
+	return r, nil
+}
+
+// Levels returns the number of position-map ORAMs.
+func (r *Recursive) Levels() int { return len(r.maps) }
+
+// OnChipEntries returns the residual on-chip map size.
+func (r *Recursive) OnChipEntries() int { return len(r.onchip) }
+
+// AccessesPerLogical returns the measured physical-ORAM accesses per
+// logical access (1 + recursion depth).
+func (r *Recursive) AccessesPerLogical() float64 {
+	if r.accesses == 0 {
+		return 0
+	}
+	total := r.data.Stats().Accesses
+	for _, m := range r.maps {
+		total += m.Stats().Accesses
+	}
+	return float64(total) / float64(r.accesses)
+}
+
+// labelSlot reads a packed label.
+func labelSlot(block []byte, off int) uint32 {
+	if block == nil || len(block) < (off+1)*labelBytes {
+		return unassigned
+	}
+	return binary.LittleEndian.Uint32(block[off*labelBytes:])
+}
+
+func setLabelSlot(block []byte, off int, v uint32) []byte {
+	if block == nil {
+		block = make([]byte, 64)
+		for i := 0; i+labelBytes <= len(block); i += labelBytes {
+			binary.LittleEndian.PutUint32(block[i:], unassigned)
+		}
+	}
+	binary.LittleEndian.PutUint32(block[off*labelBytes:], v)
+	return block
+}
+
+// Access performs one logical data access through the full recursion.
+func (r *Recursive) Access(op Op, block int, data []byte) ([]byte, error) {
+	if block < 0 || block >= r.data.nBlocks {
+		return nil, fmt.Errorf("oram: block %d out of range", block)
+	}
+	r.accesses++
+
+	// Index chain: idx[0] is the data block; idx[j+1] is the map block in
+	// maps[j] that holds idx[j]'s leaf.
+	idx := make([]int, len(r.maps)+1)
+	idx[0] = block
+	for j := 0; j < len(r.maps); j++ {
+		idx[j+1] = idx[j] / r.labelsPerBlock
+	}
+
+	// Fresh leaves for every level of the chain.
+	newLeaf := make([]int, len(r.maps)+1)
+	newLeaf[0] = r.rng.Intn(r.data.leaves)
+	for j := 0; j < len(r.maps); j++ {
+		newLeaf[j+1] = r.rng.Intn(r.maps[j].leaves)
+	}
+
+	// Walk from the on-chip map down, at each position-map level doing a
+	// single read-modify-write access: learn the lower level's current
+	// leaf and install its fresh one.
+	var curLeaf int
+	if len(r.maps) > 0 {
+		topIdx := idx[len(r.maps)]
+		curLeaf = r.onchip[topIdx]
+		r.onchip[topIdx] = newLeaf[len(r.maps)]
+	} else {
+		curLeaf = r.onchip[block]
+		r.onchip[block] = newLeaf[0]
+	}
+	for j := len(r.maps) - 1; j >= 0; j-- {
+		m := r.maps[j]
+		off := idx[j] % r.labelsPerBlock
+		var lowerLeaf uint32
+		_, err := m.AccessUpdateExt(idx[j+1], curLeaf, newLeaf[j+1], func(old []byte) []byte {
+			lowerLeaf = labelSlot(old, off)
+			return setLabelSlot(old, off, uint32(newLeaf[j]))
+		})
+		if err != nil {
+			return nil, fmt.Errorf("oram: recursion level %d: %w", j, err)
+		}
+		if lowerLeaf == unassigned {
+			// First touch: the level below still holds its
+			// construction-time leaf.
+			if j == 0 {
+				curLeaf = r.data.Leaf(idx[0])
+			} else {
+				curLeaf = r.maps[j-1].Leaf(idx[j])
+			}
+		} else {
+			curLeaf = int(lowerLeaf)
+		}
+	}
+
+	// Finally the data access, with the externally tracked leaf.
+	if op == OpWrite {
+		out, err := r.data.access(OpWrite, block, data, nil, curLeaf, newLeaf[0])
+		return out, err
+	}
+	return r.data.access(OpRead, block, nil, nil, curLeaf, newLeaf[0])
+}
+
+// CheckInvariant verifies every constituent ORAM.
+func (r *Recursive) CheckInvariant() error {
+	if err := r.data.CheckInvariant(); err != nil {
+		return err
+	}
+	for j, m := range r.maps {
+		if err := m.CheckInvariant(); err != nil {
+			return fmt.Errorf("map level %d: %w", j, err)
+		}
+	}
+	return nil
+}

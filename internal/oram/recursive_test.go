@@ -1,0 +1,188 @@
+package oram
+
+import (
+	"fmt"
+	"testing"
+
+	"obfusmem/internal/xrand"
+)
+
+func newRecursive(t *testing.T, nBlocks, onChip int, seed uint64) *Recursive {
+	t.Helper()
+	cfg := Config{Levels: 10, Z: 4, StashCapacity: 300, BlockBytes: 64}
+	r, err := NewRecursive(cfg, nBlocks, onChip, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRecursiveBuildsLevels(t *testing.T) {
+	// 2000 blocks / 16 labels = 125 map blocks <= 128 on chip: exactly
+	// one position-map level.
+	r := newRecursive(t, 2000, 128, 1)
+	if r.Levels() != 1 {
+		t.Fatalf("Levels = %d, want 1", r.Levels())
+	}
+	if r.OnChipEntries() > 125 {
+		t.Fatalf("on-chip entries = %d", r.OnChipEntries())
+	}
+	// A tiny on-chip budget forces deeper recursion.
+	r2 := newRecursive(t, 2000, 4, 2)
+	if r2.Levels() < 2 {
+		t.Fatalf("Levels = %d with on-chip limit 4, want >= 2", r2.Levels())
+	}
+}
+
+func TestRecursiveReadAfterWrite(t *testing.T) {
+	r := newRecursive(t, 800, 16, 3)
+	for i := 0; i < 200; i++ {
+		data := []byte(fmt.Sprintf("rec-%04d", i))
+		if _, err := r.Access(OpWrite, i*3, data); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		want := fmt.Sprintf("rec-%04d", i)
+		got, err := r.Access(OpRead, i*3, nil)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if string(got) != want {
+			t.Fatalf("block %d: got %q want %q", i*3, got, want)
+		}
+	}
+}
+
+func TestRecursiveRepeatedHammer(t *testing.T) {
+	// Repeated accesses to one block exercise the remap chain hardest.
+	r := newRecursive(t, 500, 8, 4)
+	r.Access(OpWrite, 123, []byte("payload"))
+	for i := 0; i < 300; i++ {
+		got, err := r.Access(OpRead, 123, nil)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if string(got) != "payload" {
+			t.Fatalf("iteration %d: got %q", i, got)
+		}
+	}
+}
+
+func TestRecursiveInvariants(t *testing.T) {
+	r := newRecursive(t, 600, 16, 5)
+	rng := xrand.New(99)
+	for i := 0; i < 1200; i++ {
+		blk := rng.Intn(600)
+		var err error
+		if rng.Bool() {
+			_, err = r.Access(OpWrite, blk, []byte{byte(i)})
+		} else {
+			_, err = r.Access(OpRead, blk, nil)
+		}
+		if err != nil {
+			t.Fatalf("access %d: %v", i, err)
+		}
+		if i%200 == 0 {
+			if err := r.CheckInvariant(); err != nil {
+				t.Fatalf("after %d: %v", i, err)
+			}
+		}
+	}
+	if err := r.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecursiveAccessAmplification(t *testing.T) {
+	r := newRecursive(t, 2000, 128, 6)
+	rng := xrand.New(7)
+	for i := 0; i < 500; i++ {
+		if _, err := r.Access(OpRead, rng.Intn(2000), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One map level: exactly 2 physical accesses per logical access.
+	if got := r.AccessesPerLogical(); got != 2 {
+		t.Fatalf("AccessesPerLogical = %v, want 2", got)
+	}
+}
+
+func TestRecursiveLeafTraceStillUniform(t *testing.T) {
+	// Recursion must not harm obliviousness: the data ORAM's leaf trace
+	// stays uniform even when one block is hammered.
+	r := newRecursive(t, 500, 8, 8)
+	for i := 0; i < 5000; i++ {
+		if _, err := r.Access(OpRead, 42, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trace := r.data.LeafTrace()
+	counts := map[int]int{}
+	for _, l := range trace {
+		counts[l]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	expected := float64(len(trace)) / float64(r.data.leaves)
+	if float64(max) > expected*3+10 {
+		t.Fatalf("leaf trace skewed: max %d, expected ~%.1f per leaf", max, expected)
+	}
+}
+
+func TestRecursiveOutOfRange(t *testing.T) {
+	r := newRecursive(t, 100, 8, 9)
+	if _, err := r.Access(OpRead, 100, nil); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+}
+
+func TestAccessUpdate(t *testing.T) {
+	o, err := New(smallConfig(), 50, xrand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Update on a never-written block sees nil.
+	_, err = o.AccessUpdate(5, func(old []byte) []byte {
+		if old != nil {
+			t.Fatal("fresh block should read nil")
+		}
+		return []byte{1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Update sees prior contents; one access total per AccessUpdate.
+	before := o.Stats().Accesses
+	_, err = o.AccessUpdate(5, func(old []byte) []byte {
+		if len(old) != 1 || old[0] != 1 {
+			t.Fatalf("old = %v", old)
+		}
+		return []byte{2}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Stats().Accesses != before+1 {
+		t.Fatal("AccessUpdate cost more than one access")
+	}
+	got, _ := o.Access(OpRead, 5, nil)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("read back %v", got)
+	}
+}
+
+func TestAccessExtDivergenceDetected(t *testing.T) {
+	o, err := New(smallConfig(), 50, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := (o.Leaf(3) + 1) % o.leaves
+	if _, err := o.AccessUpdateExt(3, wrong, 0, func(b []byte) []byte { return b }); err == nil {
+		t.Fatal("diverged external leaf accepted")
+	}
+}

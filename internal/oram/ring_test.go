@@ -1,0 +1,194 @@
+package oram
+
+import (
+	"fmt"
+	"testing"
+
+	"obfusmem/internal/xrand"
+)
+
+func smallRingConfig() RingConfig {
+	return RingConfig{Levels: 6, Z: 4, S: 6, A: 3, StashCapacity: 200, BlockBytes: 16}
+}
+
+func newRing(t *testing.T, nBlocks int, seed uint64) *RingORAM {
+	t.Helper()
+	r, err := NewRing(smallRingConfig(), nBlocks, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRingReadAfterWrite(t *testing.T) {
+	r := newRing(t, 100, 1)
+	for i := 0; i < 100; i++ {
+		data := []byte(fmt.Sprintf("ring-%04d-block", i))[:15]
+		if _, err := r.Access(OpWrite, i, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		want := fmt.Sprintf("ring-%04d-block", i)[:15]
+		got, err := r.Access(OpRead, i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Fatalf("block %d: got %q want %q", i, got, want)
+		}
+	}
+}
+
+func TestRingOverwriteAndRepeatedAccess(t *testing.T) {
+	r := newRing(t, 20, 2)
+	r.Access(OpWrite, 7, []byte("one"))
+	r.Access(OpWrite, 7, []byte("two"))
+	for k := 0; k < 30; k++ { // repeated reads force early reshuffles
+		got, err := r.Access(OpRead, 7, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "two" {
+			t.Fatalf("iteration %d: got %q", k, got)
+		}
+	}
+	if r.Stats().Reshuffles == 0 {
+		t.Fatal("repeated path reads never triggered an early reshuffle")
+	}
+}
+
+func TestRingInvariantHolds(t *testing.T) {
+	r := newRing(t, 150, 3)
+	rng := xrand.New(99)
+	for i := 0; i < 1500; i++ {
+		blk := rng.Intn(150)
+		if rng.Bool() {
+			if _, err := r.Access(OpWrite, blk, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, err := r.Access(OpRead, blk, nil); err != nil {
+			t.Fatal(err)
+		}
+		if i%150 == 0 {
+			if err := r.CheckInvariant(); err != nil {
+				t.Fatalf("after %d accesses: %v", i, err)
+			}
+		}
+	}
+	if err := r.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingBandwidthBelowPathORAM(t *testing.T) {
+	// The whole point of Ring ORAM: fewer blocks moved per access.
+	const n = 150
+	const accesses = 2000
+	ring := newRing(t, n, 4)
+	path, err := New(smallConfig(), n, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng1, rng2 := xrand.New(5), xrand.New(5)
+	for i := 0; i < accesses; i++ {
+		if _, err := ring.Access(OpRead, rng1.Intn(n), nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := path.Access(OpRead, rng2.Intn(n), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ringBW := float64(ring.Stats().BlocksRead+ring.Stats().BlocksWritten) / accesses
+	pathBW := float64(path.Stats().BlocksRead+path.Stats().BlocksWritten) / accesses
+	if ringBW >= pathBW {
+		t.Fatalf("ring bandwidth %.1f blocks/access not below path %.1f", ringBW, pathBW)
+	}
+	// Ring's headline: several-fold reduction.
+	if pathBW/ringBW < 1.5 {
+		t.Fatalf("ring improvement only %.2fx over path", pathBW/ringBW)
+	}
+}
+
+func TestRingStashBounded(t *testing.T) {
+	r := newRing(t, 150, 6)
+	rng := xrand.New(7)
+	for i := 0; i < 3000; i++ {
+		if _, err := r.Access(OpRead, rng.Intn(150), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Stats().StashMax > 100 {
+		t.Fatalf("ring stash peaked at %d", r.Stats().StashMax)
+	}
+	if r.Stats().Failures != 0 {
+		t.Fatalf("ring overflowed %d times", r.Stats().Failures)
+	}
+}
+
+func TestRingEvictionCadence(t *testing.T) {
+	r := newRing(t, 50, 8)
+	for i := 0; i < 300; i++ {
+		r.Access(OpRead, i%50, nil)
+	}
+	st := r.Stats()
+	want := uint64(300 / smallRingConfig().A)
+	if st.EvictPaths != want {
+		t.Fatalf("EvictPaths = %d, want %d (every A=%d accesses)", st.EvictPaths, want, smallRingConfig().A)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(RingConfig{Levels: 0, Z: 4, S: 6, A: 3}, 1, xrand.New(1)); err == nil {
+		t.Error("levels 0 accepted")
+	}
+	if _, err := NewRing(RingConfig{Levels: 5, Z: 0, S: 6, A: 3}, 1, xrand.New(1)); err == nil {
+		t.Error("Z 0 accepted")
+	}
+	cfg := smallRingConfig()
+	nodes := (1 << (cfg.Levels + 1)) - 1
+	if _, err := NewRing(cfg, nodes*cfg.Z/2+1, xrand.New(1)); err == nil {
+		t.Error("over-utilised ring accepted")
+	}
+	r := newRing(t, 10, 9)
+	if _, err := r.Access(OpRead, 10, nil); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+}
+
+func TestRingDefaultConfigMatchesLiterature(t *testing.T) {
+	cfg := DefaultRingConfig()
+	if cfg.Z != 4 || cfg.S != 6 || cfg.A != 3 {
+		t.Fatalf("default ring config %+v, want Z=4 S=6 A=3", cfg)
+	}
+}
+
+func TestReverseBits(t *testing.T) {
+	if got := reverseBits(0b001, 3); got != 0b100 {
+		t.Fatalf("reverseBits(001,3) = %03b", got)
+	}
+	if got := reverseBits(0b110, 3); got != 0b011 {
+		t.Fatalf("reverseBits(110,3) = %03b", got)
+	}
+	// Reverse-lexicographic eviction touches all leaves over a full cycle.
+	seen := map[uint64]bool{}
+	for v := uint64(0); v < 8; v++ {
+		seen[reverseBits(v, 3)] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("reverse-lex order visits %d of 8 leaves", len(seen))
+	}
+}
+
+func BenchmarkRingAccess(b *testing.B) {
+	r, err := NewRing(RingConfig{Levels: 12, Z: 4, S: 6, A: 3, StashCapacity: 600, BlockBytes: 64},
+		8000, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Access(OpRead, rng.Intn(8000), nil)
+	}
+}

@@ -1,0 +1,54 @@
+package pcm
+
+import "obfusmem/internal/sim"
+
+// Timing parameterises the device technology. The zero value selects the
+// paper's PCM timings (Table 2); DRAMTiming models a DDR-class DRAM layer
+// (as in the HMC/HBM stacks of Section 2.2), including refresh — the one
+// behaviour PCM does not have and DRAM cannot avoid.
+type Timing struct {
+	ArrayRead  sim.Time // activate: array -> row buffer
+	ArrayWrite sim.Time // dirty-row eviction: row buffer -> array
+	CAS        sim.Time
+	Burst      sim.Time
+	// Refresh: every RefreshInterval, each rank is unavailable for
+	// RefreshTime. Zero interval disables refresh (non-volatile cells).
+	RefreshInterval sim.Time
+	RefreshTime     sim.Time
+	// WriteEnergyRatio is array-write energy over array-read energy.
+	WriteEnergyRatio float64
+	// TrackWear enables endurance accounting (NVM only).
+	TrackWear bool
+}
+
+// IsZero reports an unset Timing (callers fall back to PCM).
+func (t Timing) IsZero() bool {
+	return t.ArrayRead == 0 && t.ArrayWrite == 0 && t.CAS == 0 && t.Burst == 0
+}
+
+// PCMTiming returns the Table 2 PCM parameters.
+func PCMTiming() Timing {
+	return Timing{
+		ArrayRead:        ArrayReadLatency,
+		ArrayWrite:       ArrayWriteLatency,
+		CAS:              CASLatency,
+		Burst:            BurstTime,
+		WriteEnergyRatio: WriteEnergyRatio,
+		TrackWear:        true,
+	}
+}
+
+// DRAMTiming returns DDR3-1600-class parameters: symmetric fast
+// activate/precharge, and standard refresh (tREFI 7.8 us, tRFC 350 ns).
+func DRAMTiming() Timing {
+	return Timing{
+		ArrayRead:        sim.Time(13750), // tRCD 13.75 ns
+		ArrayWrite:       sim.Time(13750), // tRP-equivalent restore
+		CAS:              CASLatency,
+		Burst:            BurstTime,
+		RefreshInterval:  7800 * sim.Nanosecond,
+		RefreshTime:      350 * sim.Nanosecond,
+		WriteEnergyRatio: 1.0,
+		TrackWear:        false,
+	}
+}

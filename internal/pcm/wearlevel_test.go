@@ -1,0 +1,127 @@
+package pcm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"obfusmem/internal/xrand"
+)
+
+func TestStartGapMappingIsInjective(t *testing.T) {
+	s := NewStartGap(64, 8, xrand.New(1))
+	for round := 0; round < 500; round++ {
+		seen := make(map[int]bool)
+		for l := 0; l < 64; l++ {
+			p := s.Map(l)
+			if p < 0 || p > 64 {
+				t.Fatalf("physical %d out of [0,64]", p)
+			}
+			if p == s.gapPos() {
+				t.Fatalf("logical %d mapped onto the gap", l)
+			}
+			if seen[p] {
+				t.Fatalf("round %d: collision at physical %d", round, p)
+			}
+			seen[p] = true
+		}
+		s.OnWrite()
+	}
+}
+
+// gapPos exposes the gap for the injectivity test.
+func (s *StartGap) gapPos() int { return s.gap }
+
+func TestStartGapRotates(t *testing.T) {
+	s := NewStartGap(16, 1, nil) // gap moves every write
+	before := s.Map(5)
+	// After a full rotation of n+1 gap movements, start advances.
+	for i := 0; i < 17; i++ {
+		s.OnWrite()
+	}
+	after := s.Map(5)
+	if before == after {
+		t.Fatalf("mapping of line 5 unchanged after full gap rotation")
+	}
+}
+
+func TestStartGapMigrationAccounting(t *testing.T) {
+	s := NewStartGap(8, 4, nil)
+	migrations := 0
+	for i := 0; i < 40; i++ {
+		if mig, _ := s.OnWrite(); mig {
+			migrations++
+		}
+	}
+	// 40 writes / psi 4 = 10 gap events, of which one in nine is the
+	// wrap (no copy).
+	if migrations < 8 || migrations > 10 {
+		t.Fatalf("migrations = %d, want ~9", migrations)
+	}
+	if s.GapMoves() != 10 {
+		t.Fatalf("GapMoves = %d, want 10", s.GapMoves())
+	}
+}
+
+func TestStartGapLevelsHotLine(t *testing.T) {
+	// Hammer one logical line: without levelling the max/mean wear ratio
+	// is ~n; with Start-Gap it must collapse toward a small constant.
+	const n = 32
+	writes := make([]int, 20000)
+	for i := range writes {
+		writes[i] = 7 // single hot line
+	}
+	levelled := NewStartGap(n, 4, xrand.New(2)).WearSpread(writes)
+	if levelled > 8 {
+		t.Fatalf("wear spread %v with Start-Gap, want small", levelled)
+	}
+	// Contrast: a static mapping concentrates everything on one line
+	// (spread = number of lines).
+	static := NewStartGap(n, 1<<30, nil).WearSpread(writes) // psi huge: never moves
+	if static < float64(n) {
+		t.Fatalf("static spread %v, want ~%d", static, n+1)
+	}
+	if levelled >= static/2 {
+		t.Fatalf("levelling did not help: %v vs %v", levelled, static)
+	}
+}
+
+func TestStartGapValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 1}, {8, 0}} {
+		func() {
+			defer func() { _ = recover() }()
+			NewStartGap(bad[0], bad[1], nil)
+			t.Errorf("NewStartGap(%d,%d) did not panic", bad[0], bad[1])
+		}()
+	}
+	s := NewStartGap(4, 1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Map(-1) did not panic")
+		}
+	}()
+	s.Map(-1)
+}
+
+// Property: mapping stays injective under arbitrary interleavings of
+// writes and lookups.
+func TestStartGapInjectiveProperty(t *testing.T) {
+	f := func(seed uint64, ops uint16) bool {
+		r := xrand.New(seed)
+		s := NewStartGap(16, 1+r.Intn(8), r)
+		for i := 0; i < int(ops%600); i++ {
+			s.OnWrite()
+		}
+		seen := make(map[int]bool)
+		for l := 0; l < 16; l++ {
+			p := s.Map(l)
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ps"},
+		{Nanosecond, "1.000ns"},
+		{1500 * Nanosecond, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestNanos(t *testing.T) {
+	if Nanos(1.5) != 1500 {
+		t.Fatalf("Nanos(1.5) = %d, want 1500", Nanos(1.5))
+	}
+	if Nanos(0) != 0 {
+		t.Fatalf("Nanos(0) = %d, want 0", Nanos(0))
+	}
+	if got := Time(2500 * Nanosecond).Float64Nanos(); got != 2500 {
+		t.Fatalf("Float64Nanos = %v, want 2500", got)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	// Same timestamp: FIFO by scheduling order.
+	e.Schedule(20, func() { order = append(order, 4) })
+	e.Run()
+	want := []int{1, 2, 4, 3}
+	if len(order) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", e.Now())
+	}
+	if e.Fired() != 4 {
+		t.Errorf("Fired() = %d, want 4", e.Fired())
+	}
+}
+
+func TestEngineScheduleDuringRun(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.Schedule(5, func() {
+		got = append(got, e.Now())
+		e.After(7, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 5 || got[1] != 12 {
+		t.Fatalf("got %v, want [5 12]", got)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // idempotent
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelInterleaved(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	ev2 := e.Schedule(20, func() { fired = append(fired, 2) })
+	e.Schedule(10, func() {
+		fired = append(fired, 1)
+		e.Cancel(ev2)
+	})
+	e.Schedule(30, func() { fired = append(fired, 3) })
+	e.Run()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired = %v, want [1 3]", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := Time(10); i <= 100; i += 10 {
+		e.Schedule(i, func() { count++ })
+	}
+	e.RunUntil(55)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != 55 {
+		t.Fatalf("Now() = %v, want 55", e.Now())
+	}
+	e.RunUntil(200)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if e.Now() != 200 {
+		t.Fatalf("Now() = %v, want 200", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(10, func() { count++; e.Stop() })
+	e.Schedule(20, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (Stop should halt the loop)", count)
+	}
+	e.Run() // resume
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 after resuming", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var stop func()
+	stop = e.Ticker(10, func() {
+		ticks++
+		if ticks == 3 {
+			stop()
+		}
+	})
+	e.Run()
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+}
+
+func TestResource(t *testing.T) {
+	r := NewResource("bus")
+	if got := r.Acquire(100, 50); got != 100 {
+		t.Fatalf("first Acquire start = %d, want 100", got)
+	}
+	// Second request at an earlier time must queue behind the first.
+	if got := r.Acquire(90, 25); got != 150 {
+		t.Fatalf("second Acquire start = %d, want 150", got)
+	}
+	if r.FreeAt() != 175 {
+		t.Fatalf("FreeAt = %d, want 175", r.FreeAt())
+	}
+	if !r.IdleAt(200) || r.IdleAt(160) {
+		t.Error("IdleAt misreports occupancy")
+	}
+	if r.BusyTime() != 75 {
+		t.Fatalf("BusyTime = %d, want 75", r.BusyTime())
+	}
+	if r.Uses() != 2 {
+		t.Fatalf("Uses = %d, want 2", r.Uses())
+	}
+	u := r.Utilization(750)
+	if u < 0.099 || u > 0.101 {
+		t.Fatalf("Utilization = %v, want 0.1", u)
+	}
+	r.Reset()
+	if r.BusyTime() != 0 || r.FreeAt() != 0 || r.Uses() != 0 {
+		t.Error("Reset did not clear resource")
+	}
+}
+
+// Property: a resource never overlaps reservations and never goes backwards.
+func TestResourceNoOverlapProperty(t *testing.T) {
+	f := func(reqs []uint16) bool {
+		r := NewResource("p")
+		prevEnd := Time(0)
+		at := Time(0)
+		for _, q := range reqs {
+			hold := Time(q%97) + 1
+			at += Time(q % 13)
+			start := r.Acquire(at, hold)
+			if start < at || start < prevEnd {
+				return false
+			}
+			prevEnd = start + hold
+			if r.FreeAt() != prevEnd {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	// 24-cycle latency at 4ns cycle, one op per cycle: the AES engine.
+	p := NewPipeline("aes", 24*4*Nanosecond, 4*Nanosecond)
+	d1 := p.Issue(0)
+	if d1 != 96*Nanosecond {
+		t.Fatalf("first op done at %v, want 96ns", d1)
+	}
+	d2 := p.Issue(0)
+	if d2 != 100*Nanosecond {
+		t.Fatalf("second op done at %v, want 100ns (one interval later)", d2)
+	}
+	// Six pads for a write request finish 5 intervals after the first.
+	p.Reset()
+	done := p.IssueN(0, 6)
+	if done != (96+5*4)*Nanosecond {
+		t.Fatalf("six pads done at %v, want 116ns", done)
+	}
+	if p.Ops() != 6 {
+		t.Fatalf("Ops = %d, want 6", p.Ops())
+	}
+}
+
+func TestPipelineInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPipeline with zero interval did not panic")
+		}
+	}()
+	NewPipeline("bad", 10, 0)
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("GeoMean with zero should return 0")
+	}
+	if got := Max([]float64{3, 9, 1}); got != 9 {
+		t.Errorf("Max = %v", got)
+	}
+	if Max(nil) != 0 {
+		t.Error("Max(nil) != 0")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := NewTable("Table X", "Benchmark", "Overhead")
+	tb.AddRowf(1, "mcf", 32.1)
+	tb.AddRowf(1, "lbm", 12.5)
+	tb.AddNote("n=%d", 2)
+	s := tb.String()
+	for _, want := range []string{"Table X", "Benchmark", "mcf", "32.1", "note: n=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+	if tb.Cell(0, 0) != "mcf" || tb.Cell(1, 1) != "12.5" {
+		t.Error("Cell accessor wrong")
+	}
+	if tb.Cell(5, 0) != "" || tb.Cell(0, 9) != "" {
+		t.Error("out-of-range Cell should be empty")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `q"u`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"q""u"`) {
+		t.Errorf("CSV escaping wrong: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+}
+
+func TestAddRowTruncates(t *testing.T) {
+	tb := NewTable("", "only")
+	tb.AddRow("a", "b", "c")
+	if tb.Cell(0, 0) != "a" || tb.Cell(0, 1) != "" {
+		t.Error("extra cells should be dropped")
+	}
+}

@@ -1,0 +1,117 @@
+package system
+
+import (
+	"obfusmem/internal/memctl"
+	"obfusmem/internal/merkle"
+	"obfusmem/internal/sim"
+)
+
+// Value-carrying mode: WriteData/ReadData move real bytes end to end —
+// counter-mode at-rest encryption, ObfusMem transit encryption, functional
+// storage in the memory module, and Merkle verification of what comes
+// back. This is where Observation 4 closes: in-flight data corruption that
+// the bus MAC deliberately does not cover is caught here when the block is
+// next read.
+
+// verifyRegionBlocks bounds the functional Merkle tree (tests and examples
+// use low addresses; the timed Bonsai walker covers the full space
+// statistically).
+const verifyRegionBlocks = 1 << 14 // 1 MB of 64-byte blocks
+
+// Block re-exports the storage unit.
+type Block = memctl.Block
+
+func (s *System) tree() *merkle.Tree {
+	if s.dataTree == nil {
+		s.dataTree = merkle.New(verifyRegionBlocks, 64, 2)
+	}
+	return s.dataTree
+}
+
+func tracked(addr uint64) (int, bool) {
+	blk := addr / 64
+	if blk >= verifyRegionBlocks {
+		return 0, false
+	}
+	return int(blk), true
+}
+
+// WriteData writes a plaintext block through the machine's full datapath,
+// returning the write's retirement time.
+func (s *System) WriteData(at sim.Time, addr uint64, plaintext Block) sim.Time {
+	addr = (addr % s.capacity()) &^ 63
+	if blk, ok := tracked(addr); ok {
+		s.tree().Update(blk, plaintext[:])
+	}
+	switch s.cfg.Mode {
+	case Unprotected:
+		s.mem.StoreBlock(addr, plaintext)
+		return s.plainTransfer(at, addr, true)
+	case EncryptOnly:
+		ready, _ := s.enc.EncryptWriteback(at, addr)
+		ct := plaintext
+		s.enc.EncryptData(ct[:], addr)
+		s.mem.StoreBlock(addr, ct)
+		return s.plainTransfer(ready, addr, true)
+	case ObfusMem:
+		ready, _ := s.enc.EncryptWriteback(at, addr)
+		ct := plaintext
+		s.enc.EncryptData(ct[:], addr)
+		return s.obf.WriteData(at, addr, ready, ct)
+	case ORAM:
+		s.enc.EncryptWriteback(at, addr)
+		ct := plaintext
+		s.enc.EncryptData(ct[:], addr)
+		s.mem.StoreBlock(addr, ct)
+		return s.oramP.Access(at)
+	default:
+		panic("system: unknown mode")
+	}
+}
+
+// ReadData reads a block back through the full datapath. verified is false
+// when the Merkle check failed (data was corrupted somewhere between the
+// last write and this read) or, for protected modes, when the bus-level
+// protocol rejected the access.
+func (s *System) ReadData(at sim.Time, addr uint64) (plaintext Block, done sim.Time, verified bool) {
+	addr = (addr % s.capacity()) &^ 63
+	protoOK := true
+	switch s.cfg.Mode {
+	case Unprotected:
+		done = s.plainTransfer(at, addr, false)
+		plaintext = s.mem.LoadBlock(addr)
+	case EncryptOnly:
+		raw := s.plainTransfer(at, addr, false)
+		done = s.enc.DecryptFill(at, addr, raw)
+		plaintext = s.mem.LoadBlock(addr)
+		s.enc.DecryptData(plaintext[:], addr)
+	case ObfusMem:
+		var ct Block
+		var raw sim.Time
+		ct, raw, protoOK = s.obf.ReadData(at, addr)
+		done = s.enc.DecryptFill(at, addr, raw)
+		plaintext = ct
+		s.enc.DecryptData(plaintext[:], addr)
+	case ORAM:
+		raw := s.oramP.Access(at)
+		done = s.enc.DecryptFill(at, addr, raw)
+		plaintext = s.mem.LoadBlock(addr)
+		s.enc.DecryptData(plaintext[:], addr)
+	default:
+		panic("system: unknown mode")
+	}
+	verified = protoOK
+	if blk, ok := tracked(addr); ok && protoOK {
+		verified = s.tree().Verify(blk, plaintext[:])
+	}
+	return plaintext, done, verified
+}
+
+// DataTreeStats exposes the functional Merkle tree counters (zero-valued
+// before any value-carrying access).
+func (s *System) DataTreeStats() merkle.Stats {
+	if s.dataTree == nil {
+		return merkle.Stats{}
+	}
+	return s.dataTree.Stats()
+}

@@ -1,0 +1,306 @@
+// Package system assembles full machines for each protection level the
+// paper evaluates: Unprotected (the baseline of Table 3 / Figs 4-5),
+// EncryptOnly (counter-mode memory encryption), ObfusMem in all its design
+// variants, and the fixed-latency Path ORAM model. Every configuration
+// shares the same bus, controller, and PCM substrates, so measured
+// differences are attributable to the protection scheme alone.
+package system
+
+import (
+	"fmt"
+
+	"obfusmem/internal/bus"
+	"obfusmem/internal/ctrmode"
+	"obfusmem/internal/keys"
+	"obfusmem/internal/memctl"
+	"obfusmem/internal/merkle"
+	"obfusmem/internal/obfus"
+	"obfusmem/internal/oram"
+	"obfusmem/internal/pcm"
+	"obfusmem/internal/sim"
+	"obfusmem/internal/xrand"
+)
+
+// Mode selects the protection level.
+type Mode int
+
+// Protection levels.
+const (
+	Unprotected Mode = iota
+	EncryptOnly
+	ObfusMem
+	ORAM
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Unprotected:
+		return "unprotected"
+	case EncryptOnly:
+		return "encrypt-only"
+	case ObfusMem:
+		return "obfusmem"
+	case ORAM:
+		return "oram"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes a machine.
+type Config struct {
+	Mode     Mode
+	Channels int
+	// Obfus selects the ObfusMem design point (Mode == ObfusMem).
+	Obfus obfus.Config
+	// ORAMConcurrency bounds overlapping path accesses (Mode == ORAM).
+	ORAMConcurrency int
+	// DRAM selects a DRAM main memory (with refresh) instead of the
+	// paper's PCM — the technology ablation for the HMC/HBM stacks of
+	// Section 2.2.
+	DRAM bool
+	// WearLevel enables Start-Gap wear levelling inside the memory module
+	// (Section 2.2's smart-NVM logic functions).
+	WearLevel bool
+	// IntegrityTree enables Bonsai Merkle verification traffic in the
+	// protected modes (EncryptOnly, ObfusMem): the paper's baseline
+	// secure processor assumes it (Section 2.1).
+	IntegrityTree bool
+	// FullHandshake runs the complete trust-bootstrap + DH key
+	// establishment from the keys package instead of deriving session
+	// keys directly from the seed. Slower; used by examples and
+	// integration tests.
+	FullHandshake bool
+	Seed          uint64
+}
+
+// DefaultConfig returns a single-channel machine in the given mode with the
+// paper's parameters.
+func DefaultConfig(mode Mode) Config {
+	cfg := Config{Mode: mode, Channels: 1, ORAMConcurrency: oram.PaperConcurrency, Seed: 1}
+	if mode == ObfusMem {
+		cfg.Obfus = obfus.DefaultAuth()
+	}
+	return cfg
+}
+
+// System is an assembled machine implementing cpu.MemorySystem.
+type System struct {
+	cfg   Config
+	bus   *bus.Bus
+	mem   *memctl.Controller
+	enc   *ctrmode.Engine
+	obf   *obfus.Controller
+	oramP *oram.PerfModel
+	rng   *xrand.Rand
+	seq   uint64
+	// dataTree is the functional Merkle tree backing the value-carrying
+	// mode (lazily built on first WriteData).
+	dataTree *merkle.Tree
+
+	// Boot record (populated under FullHandshake).
+	BootApproach keys.Approach
+}
+
+// New builds a machine.
+func New(cfg Config) *System {
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	mcfg := memctl.DefaultConfig(cfg.Channels)
+	mcfg.WearLevel = cfg.WearLevel
+	if cfg.DRAM {
+		mcfg.PCM.Timing = pcm.DRAMTiming()
+	}
+	s := &System{
+		cfg: cfg,
+		bus: bus.New(bus.DefaultConfig(cfg.Channels)),
+		mem: memctl.New(mcfg),
+		rng: xrand.New(cfg.Seed ^ 0x0bf05)}
+
+	var memKey [16]byte
+	s.rng.Bytes(memKey[:])
+
+	switch cfg.Mode {
+	case Unprotected:
+		// nothing further
+	case EncryptOnly:
+		s.enc = ctrmode.New(memKey, s.plainFetch)
+		if cfg.IntegrityTree {
+			s.enc.EnableIntegrity(7)
+		}
+	case ObfusMem:
+		table := s.establishKeys()
+		s.obf = obfus.New(cfg.Obfus, s.bus, s.mem, table, s.rng.Fork(2))
+		s.enc = ctrmode.New(memKey, s.obfusFetch)
+		if cfg.IntegrityTree {
+			s.enc.EnableIntegrity(7)
+		}
+	case ORAM:
+		n := cfg.ORAMConcurrency
+		if n <= 0 {
+			n = oram.PaperConcurrency
+		}
+		s.oramP = oram.NewPerfModelN(n)
+		// Counter/PosMap state is held on-chip in the paper's ORAM model;
+		// memory encryption is functional but adds no extra traffic.
+		s.enc = ctrmode.New(memKey, nil)
+	default:
+		panic("system: unknown mode")
+	}
+	return s
+}
+
+// establishKeys produces the per-channel session key table, either through
+// the full trust architecture or directly from the seed.
+func (s *System) establishKeys() *keys.SessionKeyTable {
+	table := keys.NewSessionKeyTable(s.cfg.Channels, s.mem.Mapper().ChannelOf)
+	if !s.cfg.FullHandshake {
+		for ch := 0; ch < s.cfg.Channels; ch++ {
+			var k [16]byte
+			s.rng.Bytes(k[:])
+			table.SetKey(ch, k)
+		}
+		return table
+	}
+	r := s.rng.Fork(1)
+	procMfg := keys.NewManufacturer("proc-mfg", r)
+	memMfg := keys.NewManufacturer("mem-mfg", r)
+	proc := procMfg.Produce(keys.Processor, true, s.cfg.Channels)
+	ig := keys.NewIntegrator(true, r)
+	s.BootApproach = keys.TrustedIntegrator
+	for ch := 0; ch < s.cfg.Channels; ch++ {
+		mem := memMfg.Produce(keys.Memory, true, 1)
+		if err := ig.Integrate(proc, mem); err != nil {
+			panic("system: integration failed: " + err.Error())
+		}
+		res, err := keys.EstablishSession(keys.TrustedIntegrator, proc, mem,
+			procMfg.CAKey(), memMfg.CAKey(), nil, r)
+		if err != nil {
+			panic("system: session establishment failed: " + err.Error())
+		}
+		table.SetKey(ch, res.Key)
+	}
+	return table
+}
+
+// Bus exposes the interconnect (for observers).
+func (s *System) Bus() *bus.Bus { return s.bus }
+
+// Memory exposes the controller + PCM (for stats).
+func (s *System) Memory() *memctl.Controller { return s.mem }
+
+// Encryption exposes the memory-encryption engine (nil when unprotected).
+func (s *System) Encryption() *ctrmode.Engine { return s.enc }
+
+// Obfus exposes the ObfusMem controller (nil in other modes).
+func (s *System) Obfus() *obfus.Controller { return s.obf }
+
+// ORAMModel exposes the ORAM performance model (nil in other modes).
+func (s *System) ORAMModel() *oram.PerfModel { return s.oramP }
+
+// Config returns the machine configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// plainTransfer moves one unencrypted request over the bus and accesses
+// PCM; it returns data-ready (reads) or retirement (writes) time.
+func (s *System) plainTransfer(at sim.Time, addr uint64, write bool) sim.Time {
+	ch := s.mem.Mapper().ChannelOf(addr)
+	t := bus.Read
+	if write {
+		t = bus.Write
+	}
+	var cmd [bus.CmdBytes]byte
+	cmd[0] = byte(t)
+	for i := 0; i < 8; i++ {
+		cmd[1+i] = byte(addr >> (56 - 8*uint(i)))
+	}
+	pkt := &bus.Packet{
+		Channel: ch, Dir: bus.ProcToMem, CmdCipher: cmd, HasCmd: true,
+		Type: t, Addr: addr, Plaintext: true, Seq: s.seq,
+	}
+	s.seq++
+	if write {
+		pkt.Data = make([]byte, bus.DataBytes)
+	}
+	arrive, delivered := s.bus.Transfer(at, pkt)
+	if delivered == nil {
+		return arrive
+	}
+	done := s.mem.Access(arrive, addr, write)
+	if write {
+		return done
+	}
+	reply := &bus.Packet{
+		Channel: ch, Dir: bus.MemToProc, Data: make([]byte, bus.DataBytes),
+		Type: bus.Read, Addr: addr, Plaintext: true,
+	}
+	replyArrive, _ := s.bus.Transfer(done, reply)
+	return replyArrive
+}
+
+// plainFetch services counter-block traffic for the EncryptOnly machine.
+func (s *System) plainFetch(at sim.Time, addr uint64, write bool) sim.Time {
+	return s.plainTransfer(at, addr%s.capacity(), write)
+}
+
+// obfusFetch services counter-block traffic through the ObfusMem path, so
+// counter fetches are obfuscated like all other traffic.
+func (s *System) obfusFetch(at sim.Time, addr uint64, write bool) sim.Time {
+	a := addr % s.capacity()
+	if write {
+		return s.obf.Write(at, a, at)
+	}
+	done, _ := s.obf.Read(at, a)
+	return done
+}
+
+func (s *System) capacity() uint64 { return 8 << 30 }
+
+// Read implements cpu.MemorySystem.
+func (s *System) Read(at sim.Time, addr uint64) sim.Time {
+	addr %= s.capacity()
+	switch s.cfg.Mode {
+	case Unprotected:
+		return s.plainTransfer(at, addr, false)
+	case EncryptOnly:
+		dataReady := s.plainTransfer(at, addr, false)
+		return s.enc.DecryptFill(at, addr, dataReady)
+	case ObfusMem:
+		dataReady, _ := s.obf.Read(at, addr)
+		return s.enc.DecryptFill(at, addr, dataReady)
+	case ORAM:
+		dataReady := s.oramP.Access(at)
+		return s.enc.DecryptFill(at, addr, dataReady)
+	default:
+		panic("system: unknown mode")
+	}
+}
+
+// Write implements cpu.MemorySystem.
+func (s *System) Write(at sim.Time, addr uint64) sim.Time {
+	addr %= s.capacity()
+	switch s.cfg.Mode {
+	case Unprotected:
+		return s.plainTransfer(at, addr, true)
+	case EncryptOnly:
+		ready, _ := s.enc.EncryptWriteback(at, addr)
+		return s.plainTransfer(ready, addr, true)
+	case ObfusMem:
+		ready, _ := s.enc.EncryptWriteback(at, addr)
+		return s.obf.Write(at, addr, ready)
+	case ORAM:
+		s.enc.EncryptWriteback(at, addr)
+		return s.oramP.Access(at)
+	default:
+		panic("system: unknown mode")
+	}
+}
+
+// Drain implements cpu.MemorySystem.
+func (s *System) Drain(at sim.Time) {
+	if s.obf != nil {
+		s.obf.Drain(at)
+	}
+	s.mem.Flush()
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"obfusmem/internal/sim"
+)
+
+// Trace file format: the CSV emitted by cmd/tracegen — a header line
+// "gap_ns,addr,write" followed by one request per line. Addresses may be
+// decimal or 0x-prefixed hex.
+
+// WriteTrace serialises requests to w.
+func WriteTrace(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "gap_ns,addr,write"); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		wr := 0
+		if r.Write {
+			wr = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%.3f,%#x,%d\n", r.Gap.Float64Nanos(), r.Addr, wr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace file.
+func ReadTrace(r io.Reader) ([]Request, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out []Request
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if lineNo == 1 && strings.HasPrefix(line, "gap_ns") {
+			continue // header
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("workload: trace line %d: want 3 fields, got %d", lineNo, len(parts))
+		}
+		gap, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil || gap < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad gap %q", lineNo, parts[0])
+		}
+		addrStr := strings.TrimSpace(parts[1])
+		addr, err := strconv.ParseUint(strings.TrimPrefix(addrStr, "0x"), base(addrStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad address %q", lineNo, parts[1])
+		}
+		wr, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err != nil || (wr != 0 && wr != 1) {
+			return nil, fmt.Errorf("workload: trace line %d: bad write flag %q", lineNo, parts[2])
+		}
+		out = append(out, Request{Gap: sim.Nanos(gap), Addr: addr &^ 63, Write: wr == 1})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func base(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+// Generate materialises n requests of a profile (convenience for trace
+// writing and tests).
+func Generate(p Profile, n int, seed uint64) []Request {
+	s := NewStream(p, seed)
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	p, _ := ByName("cactus")
+	reqs := Generate(p, 500, 3)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reqs) {
+		t.Fatalf("got %d requests back, want %d", len(back), len(reqs))
+	}
+	for i := range reqs {
+		if back[i].Addr != reqs[i].Addr || back[i].Write != reqs[i].Write {
+			t.Fatalf("request %d mismatch: %+v vs %+v", i, back[i], reqs[i])
+		}
+		// Gaps survive to sub-ns precision (written with 3 decimals).
+		d := back[i].Gap - reqs[i].Gap
+		if d < -1000 || d > 1000 {
+			t.Fatalf("request %d gap drifted: %v vs %v", i, back[i].Gap, reqs[i].Gap)
+		}
+	}
+}
+
+func TestReadTraceFormats(t *testing.T) {
+	in := "gap_ns,addr,write\n10.5,0x1000,0\n# comment\n\n20,4096,1\n"
+	reqs, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	if reqs[0].Addr != 0x1000 || reqs[0].Write {
+		t.Fatalf("req 0 = %+v", reqs[0])
+	}
+	if reqs[1].Addr != 4096 || !reqs[1].Write {
+		t.Fatalf("req 1 = %+v", reqs[1])
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	bad := []string{
+		"gap_ns,addr,write\nx,0x10,0\n",
+		"gap_ns,addr,write\n1.0,zz,0\n",
+		"gap_ns,addr,write\n1.0,0x10,2\n",
+		"gap_ns,addr,write\n1.0,0x10\n",
+		"gap_ns,addr,write\n-5,0x10,0\n",
+	}
+	for i, in := range bad {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: bad trace accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ByName("gems")
+	a := Generate(p, 100, 9)
+	b := Generate(p, 100, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Generate not deterministic")
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package obfusmem
+
+import (
+	"obfusmem/internal/keys"
+	"obfusmem/internal/xrand"
+)
+
+// BootApproach selects one of the paper's Section 3.1 trust-bootstrapping
+// strategies.
+type BootApproach = keys.Approach
+
+// Bootstrapping approaches.
+const (
+	// BootNaive exchanges public keys in the clear during BIOS; secure
+	// only if boot is physically isolated.
+	BootNaive = keys.Naive
+	// BootTrustedIntegrator relies on the system integrator burning each
+	// component's public key into the counterpart's write-once registers.
+	BootTrustedIntegrator = keys.TrustedIntegrator
+	// BootUntrustedIntegrator adds mutual SGX-like attestation so wrongly
+	// burned keys are caught at boot.
+	BootUntrustedIntegrator = keys.UntrustedIntegrator
+)
+
+// BootScenario describes one boot-time threat setting.
+type BootScenario struct {
+	Approach BootApproach
+	// HonestIntegrator is false when the system integrator burns
+	// attacker-chosen keys.
+	HonestIntegrator bool
+	// BootTimeMITM places an active attacker on the bus during BIOS
+	// execution.
+	BootTimeMITM bool
+	// MemoryObfusCapable is false for a memory chip without ObfusMem
+	// crypto engines (attestation must reject it).
+	MemoryObfusCapable bool
+	Seed               uint64
+}
+
+// BootReport is the outcome of a simulated boot.
+type BootReport struct {
+	// Established is true when the processor and memory agreed on a
+	// session key without detecting a problem.
+	Established bool
+	// Compromised is true when a session was established but an attacker
+	// holds the key (the silent failure of the naive approach).
+	Compromised bool
+	// Err holds the detection that halted the boot, if any.
+	Err error
+}
+
+// SimulateBoot runs the Section 3.1 trust-establishment protocol under a
+// chosen threat setting: manufacturers certify and burn component keys, the
+// integrator assembles the system, and the components run (possibly
+// attested) signed Diffie-Hellman to derive a per-channel session key.
+func SimulateBoot(s BootScenario) BootReport {
+	r := xrand.New(s.Seed ^ 0xb007)
+	procMfg := keys.NewManufacturer("proc-mfg", r)
+	memMfg := keys.NewManufacturer("mem-mfg", r)
+	proc := procMfg.Produce(keys.Processor, true, 2)
+	mem := memMfg.Produce(keys.Memory, s.MemoryObfusCapable, 2)
+
+	ig := keys.NewIntegrator(s.HonestIntegrator, r)
+	if err := ig.Integrate(proc, mem); err != nil {
+		return BootReport{Err: err}
+	}
+	var mitm *keys.BootMITM
+	if s.BootTimeMITM {
+		mitm = keys.NewBootMITM(r)
+	}
+	res, err := keys.EstablishSession(s.Approach, proc, mem,
+		procMfg.CAKey(), memMfg.CAKey(), mitm, r)
+	if err != nil {
+		return BootReport{Err: err}
+	}
+	return BootReport{Established: true, Compromised: res.Compromised}
+}

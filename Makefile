@@ -1,0 +1,29 @@
+# Build/verify targets for the ObfusMem reproduction.
+#
+#   make check   - tier-1 verify: build + full test suite
+#   make vet     - static analysis
+#   make race    - full test suite under the race detector (runSuite's
+#                  parallel fan-out, the shared metrics registry, and every
+#                  concurrent test path)
+#   make bench   - the evaluation benchmark harness (also refreshes the
+#                  BENCH_*.json perf-trajectory snapshot via TestEmitBenchTrajectory)
+#   make ci      - everything CI runs: vet + check + race
+
+GO ?= go
+
+.PHONY: check vet race bench ci
+
+check:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run TestEmitBenchTrajectory -bench . -benchmem .
+
+ci: vet check race

@@ -10,12 +10,153 @@
 package obfusmem_test
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"obfusmem"
+	"obfusmem/internal/cpu"
 	"obfusmem/internal/exp"
+	"obfusmem/internal/metrics"
 	"obfusmem/internal/stats"
+	"obfusmem/internal/system"
+	"obfusmem/internal/workload"
 )
+
+// benchTrajectoryFile is this PR's entry in the BENCH_*.json perf
+// trajectory: one machine-readable snapshot per PR, committed at the repo
+// root, so simulator throughput and headline model numbers can be compared
+// across the PR sequence.
+const benchTrajectoryFile = "BENCH_PR1.json"
+
+// trajectoryRun is one wall-clock measurement in the trajectory file.
+type trajectoryRun struct {
+	Name         string  `json:"name"`
+	Requests     int     `json:"requests"`
+	NSPerRequest float64 `json:"ns_per_request"` // best of reps: simulator cost
+}
+
+// trajectory is the BENCH_*.json schema.
+type trajectory struct {
+	PR       int             `json:"pr"`
+	Label    string          `json:"label"`
+	Go       string          `json:"go"`
+	GOOS     string          `json:"goos"`
+	GOARCH   string          `json:"goarch"`
+	Runs     []trajectoryRun `json:"runs"`
+	Headline struct {
+		Requests        int     `json:"requests"`
+		ORAMOverheadPct float64 `json:"oram_overhead_pct"`
+		ObfusOverhead   float64 `json:"obfus_overhead_pct"`
+		SpeedupX        float64 `json:"speedup_x"`
+	} `json:"headline"`
+	MetricsOverheadPct float64 `json:"metrics_overhead_pct"` // enabled vs disabled, same run
+}
+
+// wallClockRun measures simulator wall-clock cost per request for one
+// machine configuration (best of reps, to shed scheduler noise).
+func wallClockRun(tb testing.TB, cfg system.Config, bench string, n, reps int) float64 {
+	tb.Helper()
+	p, err := workload.ByName(bench)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		sys := system.New(cfg)
+		start := time.Now()
+		cpu.Run(p, n, sys, cpu.DefaultConfig(), cfg.Seed+7)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(n)
+}
+
+// TestEmitBenchTrajectory regenerates this PR's BENCH_*.json snapshot. It
+// runs as part of the ordinary suite so the trajectory never goes stale.
+func TestEmitBenchTrajectory(t *testing.T) {
+	const n, reps = 3000, 3
+	traj := trajectory{
+		PR:     1,
+		Label:  "observability layer + experiment-runner seed fix",
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+	}
+
+	base := system.DefaultConfig(system.Unprotected)
+	base.Seed = 9
+	obf := system.DefaultConfig(system.ObfusMem)
+	obf.Seed = 9
+	plainNS := wallClockRun(t, base, "milc", n, reps)
+	obfNS := wallClockRun(t, obf, "milc", n, reps)
+	traj.Runs = append(traj.Runs,
+		trajectoryRun{Name: "unprotected/milc", Requests: n, NSPerRequest: plainNS},
+		trajectoryRun{Name: "obfusmem-auth/milc", Requests: n, NSPerRequest: obfNS},
+	)
+
+	// Same protected run with the observability layer on: the delta is the
+	// cost of metrics, which must stay under 5%. Wall-clock on shared CI
+	// hardware is noisy, so the hard assertion uses a generous multiple;
+	// the recorded number is the honest measurement.
+	obfMet := obf
+	obfMet.Metrics = metrics.NewRegistry()
+	metNS := wallClockRun(t, obfMet, "milc", n, reps)
+	traj.Runs = append(traj.Runs,
+		trajectoryRun{Name: "obfusmem-auth+metrics/milc", Requests: n, NSPerRequest: metNS})
+	traj.MetricsOverheadPct = (metNS - obfNS) / obfNS * 100
+	if traj.MetricsOverheadPct > 25 {
+		t.Errorf("metrics overhead %.1f%% is far beyond the <5%% budget", traj.MetricsOverheadPct)
+	}
+
+	// Headline model numbers at a stable scale.
+	o := exp.DefaultOptions()
+	o.Requests = 1500
+	d := exp.Table3Numbers(o)
+	traj.Headline.Requests = o.Requests
+	traj.Headline.ORAMOverheadPct = stats.Mean(d.ORAMOverhead)
+	traj.Headline.ObfusOverhead = stats.Mean(d.ObfusOverhead)
+	traj.Headline.SpeedupX = stats.Mean(d.Speedup)
+
+	raw, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchTrajectoryFile, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkMetricsOverhead measures the observability layer's hot-path
+// cost directly: the same ObfusMem+Auth run with the registry off and on.
+// The nil-instrument fast path must keep "off" within noise of the seed
+// repo and "on" within the 5% budget.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	p, err := workload.ByName("milc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := system.DefaultConfig(system.ObfusMem)
+			cfg.Seed = 9
+			if on {
+				cfg.Metrics = metrics.NewRegistry()
+			}
+			for i := 0; i < b.N; i++ {
+				sys := system.New(cfg)
+				cpu.Run(p, 3000, sys, cpu.DefaultConfig(), cfg.Seed+7)
+			}
+		})
+	}
+}
 
 // benchOpts scales each in-benchmark experiment: large enough to be
 // statistically stable, small enough to iterate.

@@ -5,35 +5,69 @@
 // Example:
 //
 //	obfsim -exp table3 -requests 20000
+//
+// With -metrics the observability layer records per-component counters and
+// latency histograms across every simulated machine (bus channels, memory
+// controller, PCM devices, ObfusMem controller), and -metrics-out writes
+// the aggregated JSON snapshot ("-" for stdout).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"obfusmem/internal/cpu"
 	"obfusmem/internal/exp"
+	"obfusmem/internal/metrics"
 	"obfusmem/internal/stats"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "obfsim: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// run is the whole program behind flag parsing; factored out of main so
+// tests can drive the binary end to end in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("obfsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		which    = flag.String("exp", "all", "experiment: all|table1|table2|table3|figure4|figure5|energy|table4|tampering|timing|sensitivity")
-		requests = flag.Int("requests", 8000, "memory requests per benchmark per configuration")
-		seed     = flag.Uint64("seed", 42, "global experiment seed")
-		serial   = flag.Bool("serial", false, "disable parallel benchmark execution")
-		exposure = flag.Float64("exposure", 0.55, "fraction of read latency exposed to execution time")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		which      = fs.String("exp", "all", "experiment: all|table1|table2|table3|figure4|figure5|energy|table4|tampering|timing|sensitivity")
+		requests   = fs.Int("requests", 8000, "memory requests per benchmark per configuration")
+		seed       = fs.Uint64("seed", 42, "global experiment seed")
+		serial     = fs.Bool("serial", false, "disable parallel benchmark execution")
+		exposure   = fs.Float64("exposure", 0.55, "fraction of read latency exposed to execution time")
+		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		useMetrics = fs.Bool("metrics", false, "record per-component observability metrics (small overhead)")
+		metricsOut = fs.String("metrics-out", "metrics.json", "file for the metrics JSON snapshot (\"-\" for stdout); implies -metrics")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	opts := exp.DefaultOptions()
 	opts.Requests = *requests
 	opts.Seed = *seed
 	opts.Parallel = !*serial
 	opts.CPU = cpu.Config{Exposure: *exposure, WriteBuffer: 16}
+
+	metricsOutSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "metrics-out" {
+			metricsOutSet = true
+		}
+	})
+	var reg *metrics.Registry
+	if *useMetrics || metricsOutSet {
+		reg = metrics.NewRegistry()
+		opts.Metrics = reg
+	}
 
 	runners := map[string]func() *stats.Table{
 		"table1":      func() *stats.Table { return exp.Table1(opts) },
@@ -52,9 +86,8 @@ func main() {
 	names := order
 	if *which != "all" {
 		if _, ok := runners[*which]; !ok {
-			fmt.Fprintf(os.Stderr, "obfsim: unknown experiment %q\n", *which)
-			flag.Usage()
-			os.Exit(2)
+			fs.Usage()
+			return fmt.Errorf("unknown experiment %q", *which)
 		}
 		names = []string{*which}
 	}
@@ -62,10 +95,37 @@ func main() {
 		start := time.Now()
 		t := runners[n]()
 		if *csv {
-			fmt.Print(t.CSV())
+			fmt.Fprint(stdout, t.CSV())
 		} else {
-			fmt.Println(t.String())
+			fmt.Fprintln(stdout, t.String())
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", n, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stderr, "[%s done in %v]\n", n, time.Since(start).Round(time.Millisecond))
 	}
+
+	if reg != nil {
+		if err := writeSnapshot(reg, *metricsOut, stdout); err != nil {
+			return err
+		}
+		if *metricsOut != "-" {
+			fmt.Fprintf(stderr, "[metrics snapshot written to %s]\n", *metricsOut)
+		}
+	}
+	return nil
+}
+
+// writeSnapshot exports the registry as indented JSON to the named file, or
+// to stdout when path is "-".
+func writeSnapshot(reg *metrics.Registry, path string, stdout io.Writer) error {
+	if path == "-" {
+		return reg.WriteJSON(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics snapshot: %w", err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics snapshot: %w", err)
+	}
+	return f.Close()
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"obfusmem/internal/metrics"
+)
+
+// TestMetricsSnapshotEndToEnd drives the binary in-process with -metrics
+// and validates the exported JSON: it must parse back into a snapshot that
+// carries per-channel bus counters and PCM latency histograms.
+func TestMetricsSnapshotEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-exp", "table3", "-requests", "400", "-metrics", "-metrics-out", out}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Table 3") && stdout.Len() == 0 {
+		t.Fatal("no experiment output produced")
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+
+	// Per-channel bus counters: channel 0 exists in every machine and the
+	// whole run moved traffic on it.
+	for _, name := range []string{
+		"bus.ch0.read_packets", "bus.ch0.write_packets",
+		"bus.ch0.cmd_packets", "bus.ch0.bytes", "bus.ch0.req_busy_ps",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %q missing or zero", name)
+		}
+	}
+	// ObfusMem machines ran, so dummy traffic and obfus counters exist.
+	if snap.Counters["bus.ch0.dummy_packets"] == 0 {
+		t.Error("no dummy packets recorded despite ObfusMem runs")
+	}
+	if snap.Counters["obfus.real_reads"] == 0 || snap.Counters["obfus.dummy_writes"] == 0 {
+		t.Error("obfus real/dummy split not recorded")
+	}
+
+	// PCM latency histograms: populated, with bucket mass adding up.
+	h, ok := snap.Histograms["pcm.ch0.access_ns"]
+	if !ok || h.Count == 0 {
+		t.Fatalf("pcm.ch0.access_ns histogram missing or empty: %+v", h)
+	}
+	var mass uint64
+	for _, c := range h.Counts {
+		mass += c
+	}
+	if mass != h.Count {
+		t.Errorf("histogram bucket mass %d != count %d", mass, h.Count)
+	}
+	if h.Mean <= 0 || h.Max < h.Min {
+		t.Errorf("degenerate histogram stats: %+v", h)
+	}
+	if _, ok := snap.Histograms["pcm.ch0.bank_wait_ns"]; !ok {
+		t.Error("bank wait histogram missing")
+	}
+	// Row hit/miss counters from the devices.
+	if snap.Counters["pcm.ch0.row_hits"]+snap.Counters["pcm.ch0.row_misses"] == 0 {
+		t.Error("row hit/miss counters missing")
+	}
+}
+
+// TestMetricsOffByDefault asserts a plain run registers nothing (the
+// paper-reproduction path must stay unobserved unless asked).
+func TestMetricsOffByDefault(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-exp", "table2"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if stdout.Len() == 0 {
+		t.Fatal("no output")
+	}
+	if strings.Contains(stderr.String(), "metrics snapshot") {
+		t.Fatal("metrics written without -metrics flag")
+	}
+}

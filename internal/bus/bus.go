@@ -15,6 +15,7 @@ package bus
 import (
 	"fmt"
 
+	"obfusmem/internal/metrics"
 	"obfusmem/internal/sim"
 )
 
@@ -129,6 +130,10 @@ type Config struct {
 	BandwidthGBps float64
 	// PropagationDelay is the wire flight time added to every transfer.
 	PropagationDelay sim.Time
+	// Metrics, when non-nil, receives per-channel traffic counters and
+	// occupancy under the "bus.chN" scopes. Nil disables with near-zero
+	// hot-path cost.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig matches Table 2 of the paper.
@@ -140,12 +145,25 @@ func DefaultConfig(channels int) Config {
 	}
 }
 
+// chanMetrics holds one channel's observability instruments. The zero
+// value (all nil) is the disabled state: every update is a no-op.
+type chanMetrics struct {
+	cmdPackets   *metrics.Counter
+	readPackets  *metrics.Counter
+	writePackets *metrics.Counter
+	dummyPackets *metrics.Counter
+	bytes        *metrics.Counter
+	reqBusyPS    *metrics.Counter // serialization time, request direction (ps)
+	respBusyPS   *metrics.Counter // serialization time, reply direction (ps)
+}
+
 // Bus is the set of memory channels.
 type Bus struct {
 	cfg       Config
 	req       []*sim.Resource // per-channel request direction
 	resp      []*sim.Resource // per-channel reply direction
 	stats     []ChannelStats
+	met       []chanMetrics
 	observers []Observer
 	tamperer  Tamperer
 	psPerByte float64
@@ -166,9 +184,21 @@ func New(cfg Config) *Bus {
 		stats:     make([]ChannelStats, cfg.Channels),
 		psPerByte: 1000.0 / cfg.BandwidthGBps, // ps per byte at GB/s
 	}
+	b.met = make([]chanMetrics, cfg.Channels)
 	for i := 0; i < cfg.Channels; i++ {
 		b.req[i] = sim.NewResource(fmt.Sprintf("ch%d-req", i))
 		b.resp[i] = sim.NewResource(fmt.Sprintf("ch%d-resp", i))
+		if sc := cfg.Metrics.Scope(fmt.Sprintf("bus.ch%d", i)); sc != nil {
+			b.met[i] = chanMetrics{
+				cmdPackets:   sc.Counter("cmd_packets"),
+				readPackets:  sc.Counter("read_packets"),
+				writePackets: sc.Counter("write_packets"),
+				dummyPackets: sc.Counter("dummy_packets"),
+				bytes:        sc.Counter("bytes"),
+				reqBusyPS:    sc.Counter("req_busy_ps"),
+				respBusyPS:   sc.Counter("resp_busy_ps"),
+			}
+		}
 	}
 	return b
 }
@@ -215,6 +245,25 @@ func (b *Bus) Transfer(at sim.Time, p *Packet) (arrive sim.Time, delivered *Pack
 		st.ReqBusy += hold
 	} else {
 		st.RespBusy += hold
+	}
+
+	m := &b.met[p.Channel]
+	m.bytes.Add(uint64(p.WireBytes()))
+	if p.HasCmd {
+		m.cmdPackets.Inc()
+	}
+	if p.IsDummy {
+		m.dummyPackets.Inc()
+	}
+	if p.Type == Write {
+		m.writePackets.Inc()
+	} else {
+		m.readPackets.Inc()
+	}
+	if p.Dir == ProcToMem {
+		m.reqBusyPS.Add(uint64(hold))
+	} else {
+		m.respBusyPS.Add(uint64(hold))
 	}
 
 	for _, o := range b.observers {

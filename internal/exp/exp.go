@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"obfusmem/internal/cpu"
+	"obfusmem/internal/metrics"
 	"obfusmem/internal/sim"
 	"obfusmem/internal/system"
 	"obfusmem/internal/workload"
@@ -25,6 +26,10 @@ type Options struct {
 	// Parallel fans benchmark runs out over goroutines (deterministic
 	// regardless: every run is independently seeded).
 	Parallel bool
+	// Metrics, when non-nil, is shared by every system built for the
+	// suite: all runs aggregate into one registry (instruments are
+	// atomic, so this is safe under Parallel).
+	Metrics *metrics.Registry
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -48,6 +53,27 @@ type ModeSpec struct {
 // suiteResult maps mode name -> benchmark name -> run result.
 type suiteResult map[string]map[string]cpu.Result
 
+// runSeed derives one benchmark's per-run seed from the global experiment
+// seed. It hashes the FULL profile name (FNV-1a) — an earlier derivation
+// used only len(Name)*131 + FootprintMB, so two benchmarks with the same
+// name length and footprint collided and ran with identical machine-side
+// randomness (session keys, dummy-address draws, ORAM position maps).
+// The footprint is mixed in separately so equally-named profile variants in
+// sweeps stay distinct. The mode under test is deliberately NOT an input:
+// every mode must see the same stream for a benchmark, or paired
+// comparisons (overhead = protected/baseline on the same trace) break.
+func runSeed(global uint64, p workload.Profile) uint64 {
+	const (
+		fnvOffset64 = 14695981039346656037
+		fnvPrime64  = 1099511628211
+	)
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(p.Name); i++ {
+		h = (h ^ uint64(p.Name[i])) * fnvPrime64
+	}
+	return global ^ xrand.Mix64(h) ^ xrand.Mix64(uint64(p.FootprintMB))
+}
+
 // runSuite executes every benchmark under every mode.
 func runSuite(opts Options, specs []ModeSpec) suiteResult {
 	profiles := workload.SPEC2006()
@@ -68,7 +94,8 @@ func runSuite(opts Options, specs []ModeSpec) suiteResult {
 	var mu sync.Mutex
 	run := func(j job) {
 		cfg := j.spec.Cfg
-		cfg.Seed = opts.Seed ^ xrand.Mix64(uint64(len(j.prof.Name))*131+uint64(j.prof.FootprintMB))
+		cfg.Seed = runSeed(opts.Seed, j.prof)
+		cfg.Metrics = opts.Metrics
 		sys := system.New(cfg)
 		res := cpu.Run(j.prof, opts.Requests, sys, opts.CPU, opts.Seed+7)
 		mu.Lock()
@@ -103,7 +130,8 @@ func runOne(opts Options, cfg system.Config, bench string) (cpu.Result, *system.
 	if err != nil {
 		panic(err)
 	}
-	cfg.Seed = opts.Seed ^ xrand.Mix64(uint64(len(bench)))
+	cfg.Seed = runSeed(opts.Seed, p)
+	cfg.Metrics = opts.Metrics
 	sys := system.New(cfg)
 	res := cpu.Run(p, opts.Requests, sys, opts.CPU, opts.Seed+7)
 	return res, sys

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"obfusmem/internal/metrics"
 	"obfusmem/internal/pcm"
 	"obfusmem/internal/sim"
 	"obfusmem/internal/xrand"
@@ -34,6 +35,10 @@ type Config struct {
 	// WearRegionRows overrides the levelled region size per bank (tests
 	// and small simulations; zero derives it from capacity).
 	WearRegionRows int
+	// Metrics, when non-nil, receives per-channel controller counters
+	// ("memctl.chN" scope) and per-channel PCM device instruments
+	// ("pcm.chN" scope). Nil disables.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig matches Table 2 with a configurable channel count.
@@ -117,12 +122,22 @@ type ChannelStats struct {
 	DroppedDummies uint64
 }
 
+// chanMetrics is one channel's controller-level instrument set; the zero
+// value is the disabled state.
+type chanMetrics struct {
+	reads          *metrics.Counter
+	writes         *metrics.Counter
+	droppedDummies *metrics.Counter
+}
+
 // Controller is the memory-side access engine: one PCM device per channel.
 type Controller struct {
 	cfg     Config
 	mapper  *Mapper
 	devices []*pcm.Device
 	stats   []ChannelStats
+	met     []chanMetrics
+	metMigr *metrics.Counter
 	// levellers holds one Start-Gap instance per (channel, rank, bank)
 	// when wear levelling is enabled.
 	levellers   []*pcm.StartGap
@@ -141,9 +156,20 @@ func New(cfg Config) *Controller {
 		devices: make([]*pcm.Device, cfg.Channels),
 		stats:   make([]ChannelStats, cfg.Channels),
 	}
+	c.met = make([]chanMetrics, cfg.Channels)
 	for i := range c.devices {
-		c.devices[i] = pcm.New(cfg.PCM)
+		pc := cfg.PCM
+		pc.Metrics = cfg.Metrics.Scope(fmt.Sprintf("pcm.ch%d", i))
+		c.devices[i] = pcm.New(pc)
+		if sc := cfg.Metrics.Scope(fmt.Sprintf("memctl.ch%d", i)); sc != nil {
+			c.met[i] = chanMetrics{
+				reads:          sc.Counter("reads"),
+				writes:         sc.Counter("writes"),
+				droppedDummies: sc.Counter("dropped_dummies"),
+			}
+		}
 	}
+	c.metMigr = cfg.Metrics.Scope("memctl").Counter("wear_migrations")
 	if cfg.WearLevel {
 		capacity := int64(cfg.CapacityGB) << 30
 		if capacity <= 0 {
@@ -206,8 +232,10 @@ func (c *Controller) Access(at sim.Time, addr uint64, write bool) sim.Time {
 	co := c.mapper.Decode(addr)
 	if write {
 		c.stats[co.Channel].Writes++
+		c.met[co.Channel].writes.Inc()
 	} else {
 		c.stats[co.Channel].Reads++
+		c.met[co.Channel].reads.Inc()
 	}
 	row := co.Row
 	if c.levellers != nil && row < c.rowsPerBank {
@@ -219,6 +247,7 @@ func (c *Controller) Access(at sim.Time, addr uint64, write bool) sim.Time {
 				// gap). Posted; it occupies the bank and wears the
 				// destination but does not stall the requester.
 				c.migrations++
+				c.metMigr.Inc()
 				dev := c.devices[co.Channel]
 				done := dev.Access(at, co.Rank, co.Bank, int64(src), false)
 				dev.Access(done, co.Rank, co.Bank, int64(src)+1, true)
@@ -244,6 +273,7 @@ func (c *Controller) AccessOnChannel(at sim.Time, channel int, addr uint64, writ
 // without a PCM access.
 func (c *Controller) DropDummy(channel int) {
 	c.stats[channel].DroppedDummies++
+	c.met[channel].droppedDummies.Inc()
 }
 
 // Stats returns a copy of the per-channel counters.

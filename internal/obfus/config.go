@@ -8,7 +8,11 @@
 // channel (Observation 4).
 package obfus
 
-import "fmt"
+import (
+	"fmt"
+
+	"obfusmem/internal/metrics"
+)
 
 // DummyDesign selects the address given to dummy requests (Section 3.3).
 type DummyDesign int
@@ -140,6 +144,11 @@ type Config struct {
 	// Epoch is the fixed issue cadence under TimingOblivious (default
 	// 100 ns when zero).
 	Epoch int64 // picoseconds; int64 to keep Config comparable/serialisable
+	// Metrics, when non-nil, receives controller instruments under the
+	// "obfus" scope: real/dummy traffic split, inter-channel injection,
+	// idle-epoch backfill, and MAC/encrypt overlap slack. Nil disables.
+	// (A pointer keeps Config comparable.)
+	Metrics *metrics.Registry
 }
 
 // Default is the paper's recommended design point (without auth).

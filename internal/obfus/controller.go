@@ -9,9 +9,62 @@ import (
 	"obfusmem/internal/keys"
 	"obfusmem/internal/md5sim"
 	"obfusmem/internal/memctl"
+	"obfusmem/internal/metrics"
 	"obfusmem/internal/sim"
 	"obfusmem/internal/xrand"
 )
+
+// macSlackBucketsNS buckets the MAC/encrypt overlap slack: how much later
+// than encryption-complete a request could actually issue because of the
+// residual (mispredicted) MAC latency. Section 3.5's anticipation is
+// working when mass sits in the lowest buckets.
+var macSlackBucketsNS = []float64{0.5, 1, 2, 4, 8, 16, 32, 64}
+
+// ctrlMetrics is the controller's observability instrument set; the zero
+// value is the disabled state.
+type ctrlMetrics struct {
+	realReads         *metrics.Counter
+	realWrites        *metrics.Counter
+	dummyReads        *metrics.Counter
+	dummyWrites       *metrics.Counter
+	interChannelPairs *metrics.Counter
+	substitutedPairs  *metrics.Counter
+	droppedAtMemory   *metrics.Counter
+	idleEpochFills    *metrics.Counter
+	macsComputed      *metrics.Counter
+	tamperDetected    *metrics.Counter
+	macSlackNS        *metrics.Histogram
+}
+
+func newCtrlMetrics(r *metrics.Registry) ctrlMetrics {
+	sc := r.Scope("obfus")
+	if sc == nil {
+		return ctrlMetrics{}
+	}
+	return ctrlMetrics{
+		realReads:         sc.Counter("real_reads"),
+		realWrites:        sc.Counter("real_writes"),
+		dummyReads:        sc.Counter("dummy_reads"),
+		dummyWrites:       sc.Counter("dummy_writes"),
+		interChannelPairs: sc.Counter("inter_channel_pairs"),
+		substitutedPairs:  sc.Counter("substituted_pairs"),
+		droppedAtMemory:   sc.Counter("dropped_at_memory"),
+		idleEpochFills:    sc.Counter("idle_epoch_fills"),
+		macsComputed:      sc.Counter("macs_computed"),
+		tamperDetected:    sc.Counter("tamper_detected"),
+		macSlackNS:        sc.Histogram("mac_slack_ns", macSlackBucketsNS),
+	}
+}
+
+// observeMACSlack records how far the residual MAC latency pushed a
+// request's issue past its encryption-ready time (zero when fully
+// overlapped per Observation 4).
+func (c *Controller) observeMACSlack(encReady, sendReady sim.Time) {
+	if c.met.macSlackNS == nil {
+		return
+	}
+	c.met.macSlackNS.Observe((sendReady - encReady).Float64Nanos())
+}
 
 // XORLatency is the only serial encryption cost on the critical path when
 // pads are pre-generated (Fig 2/3): one core cycle for the final XOR.
@@ -123,6 +176,7 @@ type Controller struct {
 	chans    []*chanState
 	rng      *xrand.Rand
 	stats    Stats
+	met      ctrlMetrics
 	seq      uint64
 	frontEnd *sim.Resource
 	// lastReadData holds the most recent value-carrying read result (the
@@ -144,6 +198,7 @@ func New(cfg Config, b *bus.Bus, mem *memctl.Controller, table *keys.SessionKeyT
 		mem:         mem,
 		table:       table,
 		rng:         rng,
+		met:         newCtrlMetrics(cfg.Metrics),
 		frontEnd:    sim.NewResource("obfus-frontend"),
 		memCapacity: 8 << 30,
 	}
@@ -316,6 +371,7 @@ func (c *Controller) sendPacket(cs *chanState, ch int, readyAt sim.Time,
 		pkt.HasMAC = true
 		pkt.MAC = uint64(md5sim.Compute(byte(t), addr, padCtr))
 		c.stats.MACsComputed++
+		c.met.macsComputed.Inc()
 	}
 	arrive, delivered := c.bus.Transfer(readyAt, pkt)
 	return arrive, delivered
@@ -363,6 +419,7 @@ func (c *Controller) memDecode(cs *chanState, ch int, arrive sim.Time, delivered
 		cs.memMAC.Issue(arrive) // verification digest (off the PCM critical path)
 		if expect != delivered.MAC {
 			c.stats.TamperDetected++
+			c.met.tamperDetected.Inc()
 			return t, addr, decodeDone, false
 		}
 	} else if t != delivered.Type || addr != delivered.Addr {
@@ -411,6 +468,7 @@ func (c *Controller) replyData(cs *chanState, ch int, readyAt sim.Time, forDummy
 		pkt.HasMAC = true
 		pkt.MAC = uint64(md5sim.Compute(byte(bus.Read), reqAddr, pkt.Counter))
 		c.stats.MACsComputed++
+		c.met.macsComputed.Inc()
 		sendReady = macReplyReady(cs.memMAC, c.cfg.MAC, decodeAt, sendReady)
 	}
 	arrive, delivered := c.bus.Transfer(sendReady, pkt)
@@ -433,6 +491,7 @@ func (c *Controller) replyData(cs *chanState, ch int, readyAt sim.Time, forDummy
 		expect := uint64(md5sim.Compute(byte(bus.Read), delivered.Addr, ctr))
 		if expect != delivered.MAC || ctr != delivered.Counter {
 			c.stats.TamperDetected++
+			c.met.tamperDetected.Inc()
 			return done, false
 		}
 	}

@@ -14,6 +14,7 @@ func (c *Controller) Read(at sim.Time, addr uint64) (done sim.Time, ok bool) {
 	ch := c.ChannelOf(addr)
 	cs := c.chans[ch]
 	c.stats.RealReads++
+	c.met.realReads.Inc()
 	if c.cfg.TimingOblivious {
 		at = c.quantize(cs, ch, at)
 	}
@@ -36,6 +37,7 @@ func (c *Controller) Read(at sim.Time, addr uint64) (done sim.Time, ok bool) {
 		cs.writes = cs.writes[1:]
 		writeHalf = &w
 		c.stats.SubstitutedPairs++
+		c.met.substitutedPairs.Inc()
 	}
 
 	at = c.frontEnd.Acquire(at, FrontEndTime) + FrontEndTime
@@ -43,6 +45,7 @@ func (c *Controller) Read(at sim.Time, addr uint64) (done sim.Time, ok bool) {
 	cs.reqCtr += 6 // Fig 3: 1 real cmd + 1 dummy cmd + 4 data pads
 	encReady := pregenReady(cs.procReqEng, at, 6)
 	sendReady := macRequestReady(cs.procMAC, c.cfg.MAC, at, encReady)
+	c.observeMACSlack(encReady, sendReady)
 	if c.cfg.MAC != MACNone {
 		// Second digest for the write half of the pair.
 		macRequestReady(cs.procMAC, c.cfg.MAC, at, encReady)
@@ -93,8 +96,10 @@ func (c *Controller) issuePair(cs *chanState, ch int, padBase uint64, readH, wri
 		if h.dummy {
 			if h.t == bus.Write {
 				c.stats.DummyWrites++
+				c.met.dummyWrites.Inc()
 			} else {
 				c.stats.DummyReads++
+				c.met.dummyReads.Inc()
 			}
 		}
 	}
@@ -152,6 +157,7 @@ func (c *Controller) Write(at sim.Time, addr uint64, atRestReady sim.Time) sim.T
 	ch := c.ChannelOf(addr)
 	cs := c.chans[ch]
 	c.stats.RealWrites++
+	c.met.realWrites.Inc()
 
 	if c.cfg.Symmetric {
 		if c.cfg.TimingOblivious {
@@ -185,6 +191,7 @@ func (c *Controller) issueWritePair(cs *chanState, ch int, at sim.Time, w pendin
 	cs.reqCtr += 6
 	encReady := pregenReady(cs.procReqEng, at, 6)
 	sendReady := macRequestReady(cs.procMAC, c.cfg.MAC, at, encReady)
+	c.observeMACSlack(encReady, sendReady)
 	if c.cfg.MAC != MACNone {
 		macRequestReady(cs.procMAC, c.cfg.MAC, at, encReady)
 	}
@@ -208,6 +215,7 @@ func (c *Controller) memAccessForRead(cs *chanState, ch int, at sim.Time, t bus.
 		// must be workload-independent (Section 6.2).
 		if c.cfg.Dummy == FixedAddress && !c.cfg.TimingOblivious {
 			c.stats.DroppedAtMemory++
+			c.met.droppedAtMemory.Inc()
 			c.mem.DropDummy(ch)
 			return at
 		}
@@ -223,6 +231,7 @@ func (c *Controller) memAccessForWrite(cs *chanState, ch int, at sim.Time, addr 
 	if isDummy {
 		if c.cfg.Dummy == FixedAddress && !c.cfg.TimingOblivious {
 			c.stats.DroppedAtMemory++
+			c.met.droppedAtMemory.Inc()
 			c.mem.DropDummy(ch)
 			return at
 		}
@@ -241,6 +250,7 @@ func (c *Controller) symmetricRequest(cs *chanState, ch int, at sim.Time, t bus.
 	cs.reqCtr += 5 // 1 cmd + 4 data
 	encReady := pregenReady(cs.procReqEng, at, 5)
 	sendReady := macRequestReady(cs.procMAC, c.cfg.MAC, at, encReady)
+	c.observeMACSlack(encReady, sendReady)
 	if atRestReady > sendReady {
 		sendReady = atRestReady
 	}
@@ -293,6 +303,7 @@ func (c *Controller) injectInterChannel(at sim.Time, realCh int) {
 func (c *Controller) injectPair(at sim.Time, ch int) {
 	cs := c.chans[ch]
 	c.stats.InterChannelPairs++
+	c.met.interChannelPairs.Inc()
 	at = c.frontEnd.Acquire(at, FrontEndTime) + FrontEndTime
 	padBase := cs.reqCtr
 	cs.reqCtr += 6

@@ -59,6 +59,7 @@ func (c *Controller) quantize(cs *chanState, ch int, t sim.Time) sim.Time {
 		}
 		for k := slot - fill; k < slot; k++ {
 			c.stats.IdleEpochFills++
+			c.met.idleEpochFills.Inc()
 			c.injectPair(k*e, ch)
 		}
 	}

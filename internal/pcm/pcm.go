@@ -13,6 +13,7 @@ package pcm
 import (
 	"fmt"
 
+	"obfusmem/internal/metrics"
 	"obfusmem/internal/sim"
 )
 
@@ -47,6 +48,10 @@ type Config struct {
 	// hiding the eviction latency off the critical path (the "adaptive"
 	// part of the open-adaptive policy).
 	AdaptiveIdleClose sim.Time
+	// Metrics, when non-nil, receives device counters and latency
+	// histograms (row hits/misses, bank conflicts, access and bank-wait
+	// latency). The memory controller scopes it per channel.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig matches Table 2: 2 ranks/channel, 8 banks/rank, 1 KB rows.
@@ -80,12 +85,26 @@ type bank struct {
 	lastAccess sim.Time
 }
 
+// deviceMetrics holds the device's observability instruments; the zero
+// value is the disabled state.
+type deviceMetrics struct {
+	rowHits       *metrics.Counter
+	rowMisses     *metrics.Counter
+	bankConflicts *metrics.Counter // row-buffer conflicts (open row evicted)
+	arrayWrites   *metrics.Counter
+	refreshStalls *metrics.Counter
+	accessNS      *metrics.Histogram // device service latency per access
+	bankWaitNS    *metrics.Histogram // time queued behind a busy bank
+	maxWear       *metrics.Gauge
+}
+
 // Device is one PCM chip behind one channel.
 type Device struct {
 	cfg    Config
 	timing Timing
 	banks  []bank
 	stats  Stats
+	met    deviceMetrics
 	// wear tracks array writes per (bank,row) for endurance analysis.
 	wear    map[uint64]uint64
 	maxWear uint64
@@ -107,6 +126,18 @@ func New(cfg Config) *Device {
 	for i := range d.banks {
 		d.banks[i].res = sim.NewResource(fmt.Sprintf("bank%d", i))
 		d.banks[i].openRow = -1
+	}
+	if sc := cfg.Metrics; sc != nil {
+		d.met = deviceMetrics{
+			rowHits:       sc.Counter("row_hits"),
+			rowMisses:     sc.Counter("row_misses"),
+			bankConflicts: sc.Counter("bank_conflicts"),
+			arrayWrites:   sc.Counter("array_writes"),
+			refreshStalls: sc.Counter("refresh_stalls"),
+			accessNS:      sc.Histogram("access_ns", metrics.LatencyBucketsNS),
+			bankWaitNS:    sc.Histogram("bank_wait_ns", metrics.LatencyBucketsNS),
+			maxWear:       sc.Gauge("max_wear"),
+		}
 	}
 	return d
 }
@@ -131,6 +162,7 @@ func (d *Device) wearKey(bankIdx int, row int64) uint64 {
 // recordArrayWrite updates energy and wear for one dirty-row eviction.
 func (d *Device) recordArrayWrite(bankIdx int, row int64) {
 	d.stats.ArrayWrites++
+	d.met.arrayWrites.Inc()
 	d.stats.EnergyPJ += BlockReadEnergyPJ * d.timing.WriteEnergyRatio *
 		float64(d.cfg.RowBytes/d.cfg.BlockBytes)
 	if !d.timing.TrackWear {
@@ -140,6 +172,7 @@ func (d *Device) recordArrayWrite(bankIdx int, row int64) {
 	d.wear[k]++
 	if d.wear[k] > d.maxWear {
 		d.maxWear = d.wear[k]
+		d.met.maxWear.SetMax(float64(d.maxWear))
 	}
 }
 
@@ -162,6 +195,7 @@ func (d *Device) Access(at sim.Time, rank, bankInRank int, row int64, write bool
 		if at < boundary+d.timing.RefreshTime {
 			at = boundary + d.timing.RefreshTime
 			d.stats.RefreshStalls++
+			d.met.refreshStalls.Inc()
 			if b.openRow >= 0 {
 				// Refresh closes open rows (auto-precharge).
 				if b.dirty {
@@ -189,9 +223,11 @@ func (d *Device) Access(at sim.Time, rank, bankInRank int, row int64, write bool
 	switch {
 	case b.openRow == row:
 		d.stats.RowHits++
+		d.met.rowHits.Inc()
 		latency = d.timing.CAS + d.timing.Burst
 	case b.openRow < 0:
 		d.stats.RowMisses++
+		d.met.rowMisses.Inc()
 		d.stats.ArrayReads++
 		d.stats.EnergyPJ += BlockReadEnergyPJ * float64(d.cfg.RowBytes/d.cfg.BlockBytes)
 		latency = d.timing.ArrayRead + d.timing.CAS + d.timing.Burst
@@ -199,6 +235,8 @@ func (d *Device) Access(at sim.Time, rank, bankInRank int, row int64, write bool
 		// Conflict: evict the open row (array write if dirty), then
 		// activate the new one.
 		d.stats.RowMisses++
+		d.met.rowMisses.Inc()
+		d.met.bankConflicts.Inc()
 		evict := sim.Time(0)
 		if b.dirty {
 			evict = d.timing.ArrayWrite
@@ -210,6 +248,10 @@ func (d *Device) Access(at sim.Time, rank, bankInRank int, row int64, write bool
 	}
 
 	start := b.res.Acquire(at, latency)
+	if d.met.accessNS != nil {
+		d.met.accessNS.Observe((start + latency - at).Float64Nanos())
+		d.met.bankWaitNS.Observe((start - at).Float64Nanos())
+	}
 	if b.openRow != row {
 		// A freshly activated row starts clean; the previous row's dirty
 		// state was resolved by the eviction above.

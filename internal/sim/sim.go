@@ -11,6 +11,9 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"time"
+
+	"obfusmem/internal/metrics"
 )
 
 // Time is a simulation timestamp in picoseconds.
@@ -104,11 +107,36 @@ type Engine struct {
 	queue   eventQueue
 	fired   uint64
 	stopped bool
+
+	// Observability instruments (nil when metrics are disabled; all
+	// updates below are nil-safe no-ops then).
+	metFired     *metrics.Counter
+	metCancelled *metrics.Counter
+	metSimNow    *metrics.Gauge
+	metEvRate    *metrics.Gauge // events fired per wall-clock second
+	metSimRate   *metrics.Gauge // sim nanoseconds per wall-clock second
 }
 
 // NewEngine returns an engine at time zero with an empty queue.
 func NewEngine() *Engine {
 	return &Engine{}
+}
+
+// SetMetrics attaches the engine to a metrics registry under the "sim"
+// scope. Passing nil detaches. Safe to call on an engine mid-run only
+// between events.
+func (e *Engine) SetMetrics(r *metrics.Registry) {
+	sc := r.Scope("sim")
+	if sc == nil {
+		e.metFired, e.metCancelled = nil, nil
+		e.metSimNow, e.metEvRate, e.metSimRate = nil, nil, nil
+		return
+	}
+	e.metFired = sc.Counter("events_fired")
+	e.metCancelled = sc.Counter("events_cancelled")
+	e.metSimNow = sc.Gauge("now_ns")
+	e.metEvRate = sc.Gauge("events_per_wallsec")
+	e.metSimRate = sc.Gauge("sim_ns_per_wallsec")
 }
 
 // Now returns the current simulation time.
@@ -141,17 +169,21 @@ func (e *Engine) After(d Time, fn func()) *Event {
 }
 
 // Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a true no-op: a fired event stays
+// not-cancelled (Cancelled() keeps returning false), because it really ran.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancel || ev.index < 0 {
-		if ev != nil {
-			ev.cancel = true
-		}
+	if ev == nil || ev.cancel {
+		return
+	}
+	if ev.index < 0 {
+		// Not in the queue and not marked cancelled: the event already
+		// fired. Rewriting history here would make Cancelled() lie.
 		return
 	}
 	ev.cancel = true
 	heap.Remove(&e.queue, ev.index)
 	ev.index = -1
+	e.metCancelled.Inc()
 }
 
 // Step fires the next event. It reports false when the queue is empty.
@@ -163,23 +195,52 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.fired++
+		e.metFired.Inc()
 		ev.fn()
 		return true
 	}
 	return false
 }
 
-// Run fires events until the queue drains or Stop is called.
+// Run fires events until the queue drains or Stop is called. When metrics
+// are attached it also records the wall-clock event and sim-time rates of
+// the run, the simulator's own "how fast is the hardware model" signal.
 func (e *Engine) Run() {
 	e.stopped = false
+	if e.metEvRate == nil {
+		for !e.stopped && e.Step() {
+		}
+		return
+	}
+	wallStart := time.Now()
+	firedStart := e.fired
+	simStart := e.now
 	for !e.stopped && e.Step() {
 	}
+	e.recordRates(wallStart, firedStart, simStart)
+}
+
+// recordRates publishes wall-clock-relative gauges for a completed run
+// segment.
+func (e *Engine) recordRates(wallStart time.Time, firedStart uint64, simStart Time) {
+	wall := time.Since(wallStart).Seconds()
+	if wall <= 0 {
+		return
+	}
+	e.metSimNow.Set(e.now.Float64Nanos())
+	e.metEvRate.Set(float64(e.fired-firedStart) / wall)
+	e.metSimRate.Set((e.now - simStart).Float64Nanos() / wall)
 }
 
 // RunUntil fires events with timestamps <= deadline and then advances the
 // clock to the deadline.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
+	wallStart := time.Time{}
+	firedStart, simStart := e.fired, e.now
+	if e.metEvRate != nil {
+		wallStart = time.Now()
+	}
 	for !e.stopped {
 		if len(e.queue) == 0 || e.queue[0].at > deadline {
 			break
@@ -188,6 +249,9 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 	if !e.stopped && e.now < deadline {
 		e.now = deadline
+	}
+	if e.metEvRate != nil {
+		e.recordRates(wallStart, firedStart, simStart)
 	}
 }
 

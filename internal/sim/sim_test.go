@@ -3,7 +3,34 @@ package sim
 import (
 	"testing"
 	"testing/quick"
+
+	"obfusmem/internal/metrics"
 )
+
+func TestEngineMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := NewEngine()
+	e.SetMetrics(reg)
+	ev := e.Schedule(5, func() {})
+	cancelled := e.Schedule(7, func() {})
+	e.Schedule(10*Nanosecond, func() {})
+	e.Cancel(cancelled)
+	e.Run()
+	e.Cancel(ev) // fired: must not count as cancelled
+	snap := reg.Snapshot()
+	if got := snap.Counters["sim.events_fired"]; got != 2 {
+		t.Errorf("events_fired = %d, want 2", got)
+	}
+	if got := snap.Counters["sim.events_cancelled"]; got != 1 {
+		t.Errorf("events_cancelled = %d, want 1", got)
+	}
+	if got := snap.Gauges["sim.now_ns"]; got != 10 {
+		t.Errorf("now_ns = %v, want 10", got)
+	}
+	if snap.Gauges["sim.events_per_wallsec"] <= 0 {
+		t.Error("events_per_wallsec not recorded")
+	}
+}
 
 func TestTimeString(t *testing.T) {
 	cases := []struct {
@@ -98,6 +125,27 @@ func TestCancel(t *testing.T) {
 	}
 	if !ev.Cancelled() {
 		t.Error("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	e.Cancel(ev)
+	if ev.Cancelled() {
+		t.Error("Cancelled() = true for an event that actually fired")
+	}
+	// Cancelling a fired event must not disturb later scheduling either.
+	again := false
+	e.Schedule(20, func() { again = true })
+	e.Run()
+	if !again {
+		t.Error("engine broken after cancelling a fired event")
 	}
 }
 

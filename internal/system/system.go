@@ -14,6 +14,7 @@ import (
 	"obfusmem/internal/keys"
 	"obfusmem/internal/memctl"
 	"obfusmem/internal/merkle"
+	"obfusmem/internal/metrics"
 	"obfusmem/internal/obfus"
 	"obfusmem/internal/oram"
 	"obfusmem/internal/pcm"
@@ -72,6 +73,13 @@ type Config struct {
 	// integration tests.
 	FullHandshake bool
 	Seed          uint64
+	// Metrics, when non-nil, turns on the observability layer: the bus,
+	// memory controller, PCM devices, and ObfusMem controller all record
+	// counters/histograms into per-component scopes of this registry.
+	// Multiple systems may share one registry (instruments are atomic);
+	// their counts then aggregate. Nil (the default) disables with a
+	// nil-instrument fast path, keeping the hot path unperturbed.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns a single-channel machine in the given mode with the
@@ -109,12 +117,15 @@ func New(cfg Config) *System {
 	}
 	mcfg := memctl.DefaultConfig(cfg.Channels)
 	mcfg.WearLevel = cfg.WearLevel
+	mcfg.Metrics = cfg.Metrics
 	if cfg.DRAM {
 		mcfg.PCM.Timing = pcm.DRAMTiming()
 	}
+	bcfg := bus.DefaultConfig(cfg.Channels)
+	bcfg.Metrics = cfg.Metrics
 	s := &System{
 		cfg: cfg,
-		bus: bus.New(bus.DefaultConfig(cfg.Channels)),
+		bus: bus.New(bcfg),
 		mem: memctl.New(mcfg),
 		rng: xrand.New(cfg.Seed ^ 0x0bf05)}
 
@@ -131,7 +142,9 @@ func New(cfg Config) *System {
 		}
 	case ObfusMem:
 		table := s.establishKeys()
-		s.obf = obfus.New(cfg.Obfus, s.bus, s.mem, table, s.rng.Fork(2))
+		ocfg := cfg.Obfus
+		ocfg.Metrics = cfg.Metrics
+		s.obf = obfus.New(ocfg, s.bus, s.mem, table, s.rng.Fork(2))
 		s.enc = ctrmode.New(memKey, s.obfusFetch)
 		if cfg.IntegrityTree {
 			s.enc.EnableIntegrity(7)

@@ -8,10 +8,14 @@
 #   make bench   - the evaluation benchmark harness (also refreshes the
 #                  BENCH_*.json perf-trajectory snapshot via TestEmitBenchTrajectory)
 #   make ci      - everything CI runs: vet + check + race
+#   make trace-demo - traced run of the milc profile: Chrome trace JSON
+#                  (load trace.json in Perfetto), attribution report, and
+#                  a 5us metrics time series (see EXPERIMENTS.md "Tracing
+#                  a run")
 
 GO ?= go
 
-.PHONY: check vet race bench ci
+.PHONY: check vet race bench ci trace-demo
 
 check:
 	$(GO) build ./...
@@ -27,3 +31,8 @@ bench:
 	$(GO) test -run TestEmitBenchTrajectory -bench . -benchmem .
 
 ci: vet check race
+
+trace-demo:
+	$(GO) run ./cmd/obfsim -exp none -requests 4000 \
+		-trace-out trace.json -attrib-out attrib.json \
+		-sample-every 5 -sample-out samples.csv

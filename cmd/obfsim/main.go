@@ -10,6 +10,15 @@
 // latency histograms across every simulated machine (bus channels, memory
 // controller, PCM devices, ObfusMem controller), and -metrics-out writes
 // the aggregated JSON snapshot ("-" for stdout).
+//
+// With -trace-out (and friends: -trace-limit, -trace-bench, -trace-mode,
+// -trace-channels, -attrib-out, -sample-every, -sample-out) obfsim
+// additionally performs one dedicated traced run with the request-lifecycle
+// tracing layer on, emitting a Chrome trace-event JSON (loadable in
+// Perfetto), a per-request latency-attribution table, and optionally a
+// metrics time-series CSV. Use -exp none to run only the traced run:
+//
+//	obfsim -exp none -trace-out trace.json -sample-every 5
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"obfusmem/internal/exp"
 	"obfusmem/internal/metrics"
 	"obfusmem/internal/stats"
+	"obfusmem/internal/trace"
 )
 
 func main() {
@@ -38,7 +48,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("obfsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		which      = fs.String("exp", "all", "experiment: all|table1|table2|table3|figure4|figure5|energy|table4|tampering|timing|sensitivity")
+		which      = fs.String("exp", "all", "experiment: all|none|table1|table2|table3|figure4|figure5|energy|table4|tampering|timing|sensitivity")
 		requests   = fs.Int("requests", 8000, "memory requests per benchmark per configuration")
 		seed       = fs.Uint64("seed", 42, "global experiment seed")
 		serial     = fs.Bool("serial", false, "disable parallel benchmark execution")
@@ -46,6 +56,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		useMetrics = fs.Bool("metrics", false, "record per-component observability metrics (small overhead)")
 		metricsOut = fs.String("metrics-out", "metrics.json", "file for the metrics JSON snapshot (\"-\" for stdout); implies -metrics")
+
+		traceOut    = fs.String("trace-out", "", "Chrome trace-event JSON for a dedicated traced run (\"-\" for stdout); enables tracing")
+		traceLimit  = fs.Int("trace-limit", trace.DefaultLimit, "trace ring-buffer capacity in spans (oldest evicted beyond it)")
+		attribOut   = fs.String("attrib-out", "", "per-request latency-attribution report JSON (\"-\" for stdout); enables tracing")
+		sampleEvery = fs.Float64("sample-every", 0, "metrics time-series sampling interval in sim microseconds (0 disables)")
+		sampleOut   = fs.String("sample-out", "samples.csv", "file for the metrics time-series CSV (\"-\" for stdout)")
+		traceBench  = fs.String("trace-bench", "milc", "benchmark profile for the traced run")
+		traceMode   = fs.String("trace-mode", "obfusmem-auth", "machine for the traced run: unprotected|encrypt-only|obfusmem|obfusmem-auth|oram")
+		traceChans  = fs.Int("trace-channels", 2, "channel count for the traced run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,7 +103,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	order := []string{"table1", "table2", "table3", "figure4", "figure5", "energy", "table4", "tampering", "timing", "sensitivity"}
 
 	names := order
-	if *which != "all" {
+	switch *which {
+	case "all":
+	case "none":
+		names = nil // tracing-only invocation
+	default:
 		if _, ok := runners[*which]; !ok {
 			fs.Usage()
 			return fmt.Errorf("unknown experiment %q", *which)
@@ -108,6 +131,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		if *metricsOut != "-" {
 			fmt.Fprintf(stderr, "[metrics snapshot written to %s]\n", *metricsOut)
+		}
+	}
+
+	topts := traceOptions{
+		Bench:         *traceBench,
+		Mode:          *traceMode,
+		Channels:      *traceChans,
+		Requests:      *requests,
+		Seed:          *seed,
+		Exposure:      *exposure,
+		TraceOut:      *traceOut,
+		TraceLimit:    *traceLimit,
+		AttribOut:     *attribOut,
+		SampleEveryUS: *sampleEvery,
+		SampleOut:     *sampleOut,
+	}
+	if topts.enabled() {
+		if err := traceRun(topts, stdout, stderr); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -17,6 +17,7 @@ import (
 
 	"obfusmem/internal/metrics"
 	"obfusmem/internal/sim"
+	"obfusmem/internal/trace"
 )
 
 // Direction of a transfer.
@@ -134,6 +135,10 @@ type Config struct {
 	// occupancy under the "bus.chN" scopes. Nil disables with near-zero
 	// hot-path cost.
 	Metrics *metrics.Registry
+	// Trace, when non-nil, records one span per packet leg (link wait +
+	// serialization/propagation) on the "req-link"/"resp-link" tracks of
+	// the channel's trace process. Nil disables.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig matches Table 2 of the paper.
@@ -166,6 +171,7 @@ type Bus struct {
 	met       []chanMetrics
 	observers []Observer
 	tamperer  Tamperer
+	tr        *trace.Recorder
 	psPerByte float64
 }
 
@@ -182,6 +188,7 @@ func New(cfg Config) *Bus {
 		req:       make([]*sim.Resource, cfg.Channels),
 		resp:      make([]*sim.Resource, cfg.Channels),
 		stats:     make([]ChannelStats, cfg.Channels),
+		tr:        cfg.Trace,
 		psPerByte: 1000.0 / cfg.BandwidthGBps, // ps per byte at GB/s
 	}
 	b.met = make([]chanMetrics, cfg.Channels)
@@ -266,6 +273,21 @@ func (b *Bus) Transfer(at sim.Time, p *Packet) (arrive sim.Time, delivered *Pack
 		m.respBusyPS.Add(uint64(hold))
 	}
 
+	if b.tr != nil {
+		tid := "req-link"
+		if p.Dir == MemToProc {
+			tid = "resp-link"
+		}
+		pid := trace.ChannelPID(p.Channel)
+		if start > at {
+			b.tr.Span(pid, tid, trace.CatQueue, "link-wait", at, start)
+		}
+		b.tr.Span(pid, tid, trace.CatBus, legName(p), start,
+			start+hold+b.cfg.PropagationDelay,
+			trace.A("bytes", p.WireBytes()), trace.A("type", p.Type.String()),
+			trace.A("dummy", p.IsDummy), trace.A("seq", p.Seq))
+	}
+
 	for _, o := range b.observers {
 		o.Observe(start, p)
 	}
@@ -275,6 +297,29 @@ func (b *Bus) Transfer(at sim.Time, p *Packet) (arrive sim.Time, delivered *Pack
 		out = b.tamperer.Tamper(start, p)
 	}
 	return start + hold + b.cfg.PropagationDelay, out
+}
+
+// legName describes the wire composition of a packet for its trace span:
+// which legs (cmd, data, mac) it carries and whether it is a dummy.
+func legName(p *Packet) string {
+	name := ""
+	if p.HasCmd {
+		name = "cmd"
+	}
+	if p.Data != nil {
+		if name != "" {
+			name += "+data"
+		} else {
+			name = "data"
+		}
+	}
+	if p.HasMAC {
+		name += "+mac"
+	}
+	if p.IsDummy {
+		name += " (dummy)"
+	}
+	return name
 }
 
 // IdleAt reports whether a channel's request direction is idle at time t;

@@ -1,6 +1,11 @@
 package cache
 
-import "obfusmem/internal/sim"
+import (
+	"fmt"
+
+	"obfusmem/internal/sim"
+	"obfusmem/internal/trace"
+)
 
 // MemAccess describes one request the hierarchy sends to the memory system:
 // an LLC demand miss (read) or an LLC writeback (write).
@@ -32,6 +37,9 @@ type Hierarchy struct {
 	l2    []*Cache
 	l3    *Cache
 
+	tr      *trace.Recorder
+	coreTID []string
+
 	// coherence traffic counters
 	SnoopHits        uint64
 	Invalidations    uint64
@@ -58,6 +66,18 @@ func NewHierarchy(cores int) *Hierarchy {
 
 // Cores returns the core count.
 func (h *Hierarchy) Cores() int { return h.cores }
+
+// SetTrace attaches a span recorder (nil detaches). Only the timed entry
+// point AccessAt emits spans; the untimed Access never does.
+func (h *Hierarchy) SetTrace(tr *trace.Recorder) {
+	h.tr = tr
+	if tr != nil && h.coreTID == nil {
+		h.coreTID = make([]string, h.cores)
+		for i := range h.coreTID {
+			h.coreTID[i] = fmt.Sprintf("core%d", i)
+		}
+	}
+}
 
 // L1 returns core i's L1.
 func (h *Hierarchy) L1(i int) *Cache { return h.l1[i] }
@@ -204,6 +224,22 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) AccessResult {
 	h.insertL3(addr, Shared, &memOps)
 	h.insertPrivate(core, addr, st, &memOps)
 	res.MemAccesses = memOps
+	return res
+}
+
+// hitNames labels AccessAt trace spans by resolution level (index matches
+// AccessResult.HitLevel).
+var hitNames = [5]string{"", "L1-hit", "L2-hit", "L3-hit", "llc-miss"}
+
+// AccessAt is Access with a wall-clock anchor: identical cache behaviour,
+// plus one trace span per lookup covering the on-chip latency when a
+// recorder is attached via SetTrace.
+func (h *Hierarchy) AccessAt(at sim.Time, core int, addr uint64, write bool) AccessResult {
+	res := h.Access(core, addr, write)
+	if h.tr != nil {
+		h.tr.Span(trace.PIDCPU, h.coreTID[core], trace.CatOther, hitNames[res.HitLevel],
+			at, at+res.Latency, trace.A("addr", addr), trace.A("write", write))
+	}
 	return res
 }
 

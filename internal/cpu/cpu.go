@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"obfusmem/internal/sim"
+	"obfusmem/internal/trace"
 	"obfusmem/internal/workload"
 )
 
@@ -36,6 +37,13 @@ type Config struct {
 	// WriteBuffer is the number of outstanding writebacks the core
 	// tolerates before stalling.
 	WriteBuffer int
+	// Trace, when non-nil, opens one request envelope per demand read and
+	// writeback (issue to completion), which is what scopes every component
+	// span recorded inside the memory system to a request. Nil disables.
+	Trace *trace.Recorder
+	// Sampler, when non-nil, is poked with sim-time progress so it can
+	// snapshot the metrics registry on its fixed interval. Nil disables.
+	Sampler *trace.Sampler
 }
 
 // DefaultConfig matches the calibration in DESIGN.md.
@@ -100,7 +108,10 @@ func RunTrace(name string, reqs []workload.Request, sys MemorySystem, cfg Config
 // drive is the closed-loop core model shared by Run and RunTrace.
 func drive(name string, stream requestSource, n int, sys MemorySystem, cfg Config) Result {
 	if cfg.Exposure <= 0 {
-		cfg = DefaultConfig()
+		d := DefaultConfig()
+		d.Trace = cfg.Trace
+		d.Sampler = cfg.Sampler
+		cfg = d
 	}
 	res := Result{Benchmark: name}
 	now := sim.Time(0)
@@ -110,6 +121,7 @@ func drive(name string, stream requestSource, n int, sys MemorySystem, cfg Confi
 	for i := 0; i < n; i++ {
 		req := stream.Next()
 		now += req.Gap
+		cfg.Sampler.Advance(now)
 		if req.Write {
 			res.Writes++
 			// Prune retired writes; stall if the buffer is full.
@@ -123,11 +135,15 @@ func drive(name string, stream requestSource, n int, sys MemorySystem, cfg Confi
 				}
 				pendingWrites = pendingWrites[1:]
 			}
+			id := cfg.Trace.BeginRequest("write", req.Addr, now)
 			done := sys.Write(now, req.Addr)
+			cfg.Trace.EndRequest(id, done)
 			pendingWrites = insertSorted(pendingWrites, done)
 		} else {
 			res.Reads++
+			id := cfg.Trace.BeginRequest("read", req.Addr, now)
 			done := sys.Read(now, req.Addr)
+			cfg.Trace.EndRequest(id, done)
 			lat := done - now
 			if lat < 0 {
 				lat = 0
@@ -142,6 +158,7 @@ func drive(name string, stream requestSource, n int, sys MemorySystem, cfg Confi
 		}
 	}
 	sys.Drain(now)
+	cfg.Sampler.Advance(now)
 	res.Requests = uint64(n)
 	res.ExecTime = now
 	if n > 0 {

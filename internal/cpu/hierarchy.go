@@ -61,7 +61,13 @@ type HierarchyResult struct {
 // RunHierarchy executes n instructions per core.
 func RunHierarchy(w HierarchyWorkload, nPerCore int, h *cache.Hierarchy, sys MemorySystem, cfg Config, seed uint64) HierarchyResult {
 	if cfg.Exposure <= 0 {
-		cfg = DefaultConfig()
+		d := DefaultConfig()
+		d.Trace = cfg.Trace
+		d.Sampler = cfg.Sampler
+		cfg = d
+	}
+	if cfg.Trace != nil {
+		h.SetTrace(cfg.Trace)
 	}
 	if w.Cores <= 0 {
 		w.Cores = 1
@@ -100,19 +106,24 @@ func RunHierarchy(w HierarchyWorkload, nPerCore int, h *cache.Hierarchy, sys Mem
 				if !w.SharedRW && a >= uint64(w.Cores)*w.HotBytes {
 					write = false
 				}
-				ar := h.Access(core, a, write)
+				cfg.Sampler.Advance(now[core])
+				ar := h.AccessAt(now[core], core, a, write)
 				res.HitLevels[ar.HitLevel]++
 				now[core] += ar.Latency
 				for _, m := range ar.MemAccesses {
 					if m.Demand {
+						id := cfg.Trace.BeginRequest("read", m.Addr, now[core])
 						done := sys.Read(now[core], m.Addr)
+						cfg.Trace.EndRequest(id, done)
 						lat := done - now[core]
 						if lat > 0 {
 							now[core] += sim.Time(cfg.Exposure * float64(lat))
 						}
 					} else if m.Write {
 						res.Writebacks++
-						sys.Write(now[core], m.Addr)
+						id := cfg.Trace.BeginRequest("write", m.Addr, now[core])
+						done := sys.Write(now[core], m.Addr)
+						cfg.Trace.EndRequest(id, done)
 					}
 				}
 			}

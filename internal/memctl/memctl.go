@@ -19,6 +19,7 @@ import (
 	"obfusmem/internal/metrics"
 	"obfusmem/internal/pcm"
 	"obfusmem/internal/sim"
+	"obfusmem/internal/trace"
 	"obfusmem/internal/xrand"
 )
 
@@ -39,6 +40,9 @@ type Config struct {
 	// ("memctl.chN" scope) and per-channel PCM device instruments
 	// ("pcm.chN" scope). Nil disables.
 	Metrics *metrics.Registry
+	// Trace, when non-nil, records controller decode instants and (via the
+	// per-channel PCM devices) bank wait/access spans. Nil disables.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig matches Table 2 with a configurable channel count.
@@ -138,6 +142,7 @@ type Controller struct {
 	stats   []ChannelStats
 	met     []chanMetrics
 	metMigr *metrics.Counter
+	tr      *trace.Recorder
 	// levellers holds one Start-Gap instance per (channel, rank, bank)
 	// when wear levelling is enabled.
 	levellers   []*pcm.StartGap
@@ -156,10 +161,13 @@ func New(cfg Config) *Controller {
 		devices: make([]*pcm.Device, cfg.Channels),
 		stats:   make([]ChannelStats, cfg.Channels),
 	}
+	c.tr = cfg.Trace
 	c.met = make([]chanMetrics, cfg.Channels)
 	for i := range c.devices {
 		pc := cfg.PCM
 		pc.Metrics = cfg.Metrics.Scope(fmt.Sprintf("pcm.ch%d", i))
+		pc.Trace = cfg.Trace
+		pc.Channel = i
 		c.devices[i] = pcm.New(pc)
 		if sc := cfg.Metrics.Scope(fmt.Sprintf("memctl.ch%d", i)); sc != nil {
 			c.met[i] = chanMetrics{
@@ -237,6 +245,12 @@ func (c *Controller) Access(at sim.Time, addr uint64, write bool) sim.Time {
 		c.stats[co.Channel].Reads++
 		c.met[co.Channel].reads.Inc()
 	}
+	if c.tr != nil {
+		// Channel pick: the RoRaBaChCo decode routing this request.
+		c.tr.Instant(trace.ChannelPID(co.Channel), "ctl", "decode", at,
+			trace.A("rank", co.Rank), trace.A("bank", co.Bank),
+			trace.A("row", co.Row), trace.A("write", write))
+	}
 	row := co.Row
 	if c.levellers != nil && row < c.rowsPerBank {
 		sg := c.leveller(co)
@@ -248,6 +262,10 @@ func (c *Controller) Access(at sim.Time, addr uint64, write bool) sim.Time {
 				// destination but does not stall the requester.
 				c.migrations++
 				c.metMigr.Inc()
+				if c.tr != nil {
+					c.tr.Instant(trace.ChannelPID(co.Channel), "ctl",
+						"wear-migration", at, trace.A("src_row", src))
+				}
 				dev := c.devices[co.Channel]
 				done := dev.Access(at, co.Rank, co.Bank, int64(src), false)
 				dev.Access(done, co.Rank, co.Bank, int64(src)+1, true)
@@ -269,11 +287,12 @@ func (c *Controller) AccessOnChannel(at sim.Time, channel int, addr uint64, writ
 	return c.Access(at, addr, write)
 }
 
-// DropDummy records a fixed-address dummy discarded at the memory side
-// without a PCM access.
-func (c *Controller) DropDummy(channel int) {
+// DropDummy records a fixed-address dummy discarded at time `at` on the
+// memory side without a PCM access.
+func (c *Controller) DropDummy(at sim.Time, channel int) {
 	c.stats[channel].DroppedDummies++
 	c.met[channel].droppedDummies.Inc()
+	c.tr.Instant(trace.ChannelPID(channel), "ctl", "dummy-dropped", at)
 }
 
 // Stats returns a copy of the per-channel counters.

@@ -142,8 +142,8 @@ func TestAccessOnChannelValidates(t *testing.T) {
 func TestDropDummy(t *testing.T) {
 	c := New(noAdaptive(2))
 	before := c.Device(0).Stats().Accesses
-	c.DropDummy(0)
-	c.DropDummy(0)
+	c.DropDummy(0, 0)
+	c.DropDummy(0, 0)
 	if c.Stats()[0].DroppedDummies != 2 {
 		t.Fatalf("DroppedDummies = %d", c.Stats()[0].DroppedDummies)
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"obfusmem/internal/metrics"
+	"obfusmem/internal/trace"
 )
 
 // DummyDesign selects the address given to dummy requests (Section 3.3).
@@ -149,6 +150,10 @@ type Config struct {
 	// idle-epoch backfill, and MAC/encrypt overlap slack. Nil disables.
 	// (A pointer keeps Config comparable.)
 	Metrics *metrics.Registry
+	// Trace, when non-nil, records per-request crypto/front-end spans
+	// (pad pre-generation, MAC generation, memory-side decode, reply
+	// transit crypto) for the lifecycle tracing layer. Nil disables.
+	Trace *trace.Recorder
 }
 
 // Default is the paper's recommended design point (without auth).

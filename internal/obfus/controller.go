@@ -11,6 +11,7 @@ import (
 	"obfusmem/internal/memctl"
 	"obfusmem/internal/metrics"
 	"obfusmem/internal/sim"
+	"obfusmem/internal/trace"
 	"obfusmem/internal/xrand"
 )
 
@@ -64,6 +65,46 @@ func (c *Controller) observeMACSlack(encReady, sendReady sim.Time) {
 		return
 	}
 	c.met.macSlackNS.Observe((sendReady - encReady).Float64Nanos())
+}
+
+// acquireFrontEnd reserves the shared processor-side front end for one
+// request pair, tracing the wait (queueing behind other pairs, including
+// injected dummies) and the occupancy, and returns the release time.
+func (c *Controller) acquireFrontEnd(at sim.Time) sim.Time {
+	start := c.frontEnd.Acquire(at, FrontEndTime)
+	if c.tr != nil {
+		if start > at {
+			c.tr.Span(trace.PIDCPU, "frontend", trace.CatQueue, "frontend-wait", at, start)
+		}
+		c.tr.Span(trace.PIDCPU, "frontend", trace.CatOther, "frontend", start, start+FrontEndTime)
+	}
+	return start + FrontEndTime
+}
+
+// requestCrypto runs request-path pad pre-generation and MAC anticipation
+// for one issue, tracing both legs, and returns when encryption completes
+// and when the request may go on the wire. secondMAC issues the digest for
+// the pair's second half; observe feeds the MAC/encrypt overlap-slack
+// histogram (real requests only, matching the metrics discipline).
+func (c *Controller) requestCrypto(cs *chanState, ch int, at sim.Time, pads int, secondMAC, observe bool) (encReady, sendReady sim.Time) {
+	encReady = pregenReady(cs.procReqEng, at, pads)
+	sendReady = macRequestReady(cs.procMAC, c.cfg.MAC, at, encReady)
+	if observe {
+		c.observeMACSlack(encReady, sendReady)
+	}
+	if secondMAC && c.cfg.MAC != MACNone {
+		macRequestReady(cs.procMAC, c.cfg.MAC, at, encReady)
+	}
+	if c.tr != nil {
+		pid := trace.ChannelPID(ch)
+		c.tr.Span(pid, "proc-aes", trace.CatCrypto, "encrypt-pads", at, encReady,
+			trace.A("pads", pads))
+		if c.cfg.MAC != MACNone {
+			c.tr.Span(pid, "proc-md5", trace.CatCrypto, "mac-request", at, sendReady,
+				trace.A("slack_ns", (sendReady-encReady).Float64Nanos()))
+		}
+	}
+	return encReady, sendReady
 }
 
 // XORLatency is the only serial encryption cost on the critical path when
@@ -177,6 +218,7 @@ type Controller struct {
 	rng      *xrand.Rand
 	stats    Stats
 	met      ctrlMetrics
+	tr       *trace.Recorder
 	seq      uint64
 	frontEnd *sim.Resource
 	// lastReadData holds the most recent value-carrying read result (the
@@ -199,6 +241,7 @@ func New(cfg Config, b *bus.Bus, mem *memctl.Controller, table *keys.SessionKeyT
 		table:       table,
 		rng:         rng,
 		met:         newCtrlMetrics(cfg.Metrics),
+		tr:          cfg.Trace,
 		frontEnd:    sim.NewResource("obfus-frontend"),
 		memCapacity: 8 << 30,
 	}
@@ -414,12 +457,17 @@ func (c *Controller) memDecode(cs *chanState, ch int, arrive sim.Time, delivered
 	pad := cs.memReqEng.CTR().Pad(aes.IV{ID: uint64(ch), Counter: ctr})
 	decodeDone = pregenReady(cs.memReqEng, arrive, 1) + SerDesLatency
 	t, addr = openCmd(delivered.CmdCipher, pad)
+	if c.tr != nil {
+		c.tr.Span(trace.ChannelPID(ch), "mem-aes", trace.CatCrypto, "mem-decode",
+			arrive, decodeDone, trace.A("ctr", ctr), trace.A("dummy", delivered.IsDummy))
+	}
 	if c.cfg.MAC != MACNone {
 		expect := uint64(md5sim.Compute(byte(t), addr, ctr))
 		cs.memMAC.Issue(arrive) // verification digest (off the PCM critical path)
 		if expect != delivered.MAC {
 			c.stats.TamperDetected++
 			c.met.tamperDetected.Inc()
+			c.tr.Instant(trace.ChannelPID(ch), "mem-aes", "tamper-detected", decodeDone)
 			return t, addr, decodeDone, false
 		}
 	} else if t != delivered.Type || addr != delivered.Addr {
@@ -471,6 +519,10 @@ func (c *Controller) replyData(cs *chanState, ch int, readyAt sim.Time, forDummy
 		c.met.macsComputed.Inc()
 		sendReady = macReplyReady(cs.memMAC, c.cfg.MAC, decodeAt, sendReady)
 	}
+	if c.tr != nil && sendReady > readyAt {
+		c.tr.Span(trace.ChannelPID(ch), "mem-aes", trace.CatCrypto, "reply-encrypt",
+			readyAt, sendReady, trace.A("dummy", forDummy))
+	}
 	arrive, delivered := c.bus.Transfer(sendReady, pkt)
 	if delivered == nil {
 		c.stats.RequestsLost++
@@ -481,6 +533,10 @@ func (c *Controller) replyData(cs *chanState, ch int, readyAt sim.Time, forDummy
 	}
 	// Processor-side transit decryption (pre-generated pads) and MAC check.
 	done := pregenReady(cs.procRespEng, arrive, 4) + SerDesLatency
+	if c.tr != nil {
+		c.tr.Span(trace.ChannelPID(ch), "proc-aes", trace.CatCrypto, "reply-decode",
+			arrive, done)
+	}
 	ctr := cs.procRespCtr
 	cs.procRespCtr += 4
 	if wantData && delivered.Data != nil {
@@ -492,6 +548,7 @@ func (c *Controller) replyData(cs *chanState, ch int, readyAt sim.Time, forDummy
 		if expect != delivered.MAC || ctr != delivered.Counter {
 			c.stats.TamperDetected++
 			c.met.tamperDetected.Inc()
+			c.tr.Instant(trace.PIDCPU, "proc-aes", "tamper-detected", done)
 			return done, false
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"obfusmem/internal/bus"
 	"obfusmem/internal/memctl"
 	"obfusmem/internal/sim"
+	"obfusmem/internal/trace"
 )
 
 // Read services one LLC demand miss: the full ObfusMem round trip. It
@@ -38,18 +39,17 @@ func (c *Controller) Read(at sim.Time, addr uint64) (done sim.Time, ok bool) {
 		writeHalf = &w
 		c.stats.SubstitutedPairs++
 		c.met.substitutedPairs.Inc()
+		if c.tr != nil {
+			c.tr.Instant(trace.PIDCPU, "frontend", "substitute-real", at,
+				trace.A("write_addr", w.addr))
+		}
 	}
 
-	at = c.frontEnd.Acquire(at, FrontEndTime) + FrontEndTime
+	at = c.acquireFrontEnd(at)
 	padBase := cs.reqCtr
 	cs.reqCtr += 6 // Fig 3: 1 real cmd + 1 dummy cmd + 4 data pads
-	encReady := pregenReady(cs.procReqEng, at, 6)
-	sendReady := macRequestReady(cs.procMAC, c.cfg.MAC, at, encReady)
-	c.observeMACSlack(encReady, sendReady)
-	if c.cfg.MAC != MACNone {
-		// Second digest for the write half of the pair.
-		macRequestReady(cs.procMAC, c.cfg.MAC, at, encReady)
-	}
+	// Second digest covers the write half of the pair.
+	_, sendReady := c.requestCrypto(cs, ch, at, 6, true, true)
 
 	// Assemble the two halves.
 	readH := half{t: bus.Read, addr: addr, dummy: false, withData: false, ready: sendReady}
@@ -186,15 +186,10 @@ func (c *Controller) issueWritePair(cs *chanState, ch int, at sim.Time, w pendin
 	if c.cfg.TimingOblivious {
 		at = c.quantize(cs, ch, at)
 	}
-	at = c.frontEnd.Acquire(at, FrontEndTime) + FrontEndTime
+	at = c.acquireFrontEnd(at)
 	padBase := cs.reqCtr
 	cs.reqCtr += 6
-	encReady := pregenReady(cs.procReqEng, at, 6)
-	sendReady := macRequestReady(cs.procMAC, c.cfg.MAC, at, encReady)
-	c.observeMACSlack(encReady, sendReady)
-	if c.cfg.MAC != MACNone {
-		macRequestReady(cs.procMAC, c.cfg.MAC, at, encReady)
-	}
+	_, sendReady := c.requestCrypto(cs, ch, at, 6, true, true)
 
 	rAddr := c.dummyAddrFor(cs, w.addr, ch)
 	wReady := sendReady
@@ -216,7 +211,7 @@ func (c *Controller) memAccessForRead(cs *chanState, ch int, at sim.Time, t bus.
 		if c.cfg.Dummy == FixedAddress && !c.cfg.TimingOblivious {
 			c.stats.DroppedAtMemory++
 			c.met.droppedAtMemory.Inc()
-			c.mem.DropDummy(ch)
+			c.mem.DropDummy(at, ch)
 			return at
 		}
 		c.stats.DummyPCMReads++
@@ -232,7 +227,7 @@ func (c *Controller) memAccessForWrite(cs *chanState, ch int, at sim.Time, addr 
 		if c.cfg.Dummy == FixedAddress && !c.cfg.TimingOblivious {
 			c.stats.DroppedAtMemory++
 			c.met.droppedAtMemory.Inc()
-			c.mem.DropDummy(ch)
+			c.mem.DropDummy(at, ch)
 			return at
 		}
 		c.stats.DummyPCMWrites++
@@ -245,12 +240,10 @@ func (c *Controller) memAccessForWrite(cs *chanState, ch int, at sim.Time, addr 
 // cmd+data and every request receives a data reply, making types
 // indistinguishable by size instead of by pairing.
 func (c *Controller) symmetricRequest(cs *chanState, ch int, at sim.Time, t bus.ReqType, addr uint64, atRestReady sim.Time) (sim.Time, bool) {
-	at = c.frontEnd.Acquire(at, FrontEndTime) + FrontEndTime
+	at = c.acquireFrontEnd(at)
 	padBase := cs.reqCtr
 	cs.reqCtr += 5 // 1 cmd + 4 data
-	encReady := pregenReady(cs.procReqEng, at, 5)
-	sendReady := macRequestReady(cs.procMAC, c.cfg.MAC, at, encReady)
-	c.observeMACSlack(encReady, sendReady)
+	_, sendReady := c.requestCrypto(cs, ch, at, 5, false, true)
 	if atRestReady > sendReady {
 		sendReady = atRestReady
 	}
@@ -304,14 +297,12 @@ func (c *Controller) injectPair(at sim.Time, ch int) {
 	cs := c.chans[ch]
 	c.stats.InterChannelPairs++
 	c.met.interChannelPairs.Inc()
-	at = c.frontEnd.Acquire(at, FrontEndTime) + FrontEndTime
+	at = c.acquireFrontEnd(at)
 	padBase := cs.reqCtr
 	cs.reqCtr += 6
-	encReady := pregenReady(cs.procReqEng, at, 6)
-	sendReady := macRequestReady(cs.procMAC, c.cfg.MAC, at, encReady)
-	if c.cfg.MAC != MACNone {
-		macRequestReady(cs.procMAC, c.cfg.MAC, at, encReady)
-	}
+	// Dummy pairs skip the slack histogram (real-request metric) but still
+	// occupy both MAC slots.
+	_, sendReady := c.requestCrypto(cs, ch, at, 6, true, false)
 	dAddr := c.dummyAddrFor(cs, cs.dummyAddr, ch)
 	readH := half{t: bus.Read, addr: dAddr, dummy: true, withData: false, ready: sendReady}
 	writeH := half{t: bus.Write, addr: dAddr, dummy: true, withData: true, ready: sendReady}

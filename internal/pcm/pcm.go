@@ -15,6 +15,7 @@ import (
 
 	"obfusmem/internal/metrics"
 	"obfusmem/internal/sim"
+	"obfusmem/internal/trace"
 )
 
 // Timing and energy parameters (Table 2 and Section 5.2).
@@ -52,6 +53,11 @@ type Config struct {
 	// histograms (row hits/misses, bank conflicts, access and bank-wait
 	// latency). The memory controller scopes it per channel.
 	Metrics *metrics.Registry
+	// Trace, when non-nil, records bank-wait and array-access spans per
+	// bank. Channel names the trace process (the memory controller sets it
+	// to the device's channel index). Nil disables.
+	Trace   *trace.Recorder
+	Channel int
 }
 
 // DefaultConfig matches Table 2: 2 ranks/channel, 8 banks/rank, 1 KB rows.
@@ -105,6 +111,10 @@ type Device struct {
 	banks  []bank
 	stats  Stats
 	met    deviceMetrics
+	tr     *trace.Recorder
+	// bankTID holds precomputed trace track names per bank (avoids
+	// per-access formatting when tracing is on).
+	bankTID []string
 	// wear tracks array writes per (bank,row) for endurance analysis.
 	wear    map[uint64]uint64
 	maxWear uint64
@@ -126,6 +136,13 @@ func New(cfg Config) *Device {
 	for i := range d.banks {
 		d.banks[i].res = sim.NewResource(fmt.Sprintf("bank%d", i))
 		d.banks[i].openRow = -1
+	}
+	if cfg.Trace != nil {
+		d.tr = cfg.Trace
+		d.bankTID = make([]string, n)
+		for i := range d.bankTID {
+			d.bankTID[i] = fmt.Sprintf("rank%d.bank%d", i/cfg.BanksPerRank, i%cfg.BanksPerRank)
+		}
 	}
 	if sc := cfg.Metrics; sc != nil {
 		d.met = deviceMetrics{
@@ -187,6 +204,7 @@ func (d *Device) Access(at sim.Time, rank, bankInRank int, row int64, write bool
 	idx := d.bankIndex(rank, bankInRank)
 	b := &d.banks[idx]
 	d.stats.Accesses++
+	reqAt := at // request time before refresh shifts, for trace wait spans
 
 	// Refresh (DRAM): an access landing inside a refresh window waits for
 	// it to complete.
@@ -220,12 +238,14 @@ func (d *Device) Access(at sim.Time, rank, bankInRank int, row int64, write bool
 	}
 
 	var latency sim.Time
+	kind := "row-hit"
 	switch {
 	case b.openRow == row:
 		d.stats.RowHits++
 		d.met.rowHits.Inc()
 		latency = d.timing.CAS + d.timing.Burst
 	case b.openRow < 0:
+		kind = "row-miss"
 		d.stats.RowMisses++
 		d.met.rowMisses.Inc()
 		d.stats.ArrayReads++
@@ -234,6 +254,7 @@ func (d *Device) Access(at sim.Time, rank, bankInRank int, row int64, write bool
 	default:
 		// Conflict: evict the open row (array write if dirty), then
 		// activate the new one.
+		kind = "row-conflict"
 		d.stats.RowMisses++
 		d.met.rowMisses.Inc()
 		d.met.bankConflicts.Inc()
@@ -251,6 +272,14 @@ func (d *Device) Access(at sim.Time, rank, bankInRank int, row int64, write bool
 	if d.met.accessNS != nil {
 		d.met.accessNS.Observe((start + latency - at).Float64Nanos())
 		d.met.bankWaitNS.Observe((start - at).Float64Nanos())
+	}
+	if d.tr != nil {
+		pid := trace.ChannelPID(d.cfg.Channel)
+		if start > reqAt {
+			d.tr.Span(pid, d.bankTID[idx], trace.CatQueue, "bank-wait", reqAt, start)
+		}
+		d.tr.Span(pid, d.bankTID[idx], trace.CatPCM, kind, start, start+latency,
+			trace.A("row", row), trace.A("write", write))
 	}
 	if b.openRow != row {
 		// A freshly activated row starts clean; the previous row's dirty

@@ -11,6 +11,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"time"
 
 	"obfusmem/internal/metrics"
@@ -29,12 +30,36 @@ const (
 )
 
 // Nanos converts a floating-point nanosecond quantity to Time, rounding to
-// the nearest picosecond.
+// the nearest picosecond. It panics on invalid input (negative, NaN, or out
+// of range): internal model code computing such a duration is always a bug.
+// Paths fed by external input (trace files, flags) should use TryNanos.
 func Nanos(ns float64) Time {
-	if ns < 0 {
-		panic("sim: negative duration")
+	t, err := TryNanos(ns)
+	if err != nil {
+		panic("sim: " + err.Error())
 	}
-	return Time(ns*float64(Nanosecond) + 0.5)
+	return t
+}
+
+// maxNanos is the largest nanosecond quantity representable as Time without
+// overflowing int64 picoseconds.
+const maxNanos = float64(1<<63-1) / float64(Nanosecond)
+
+// TryNanos is the checked form of Nanos: it rejects negative, NaN, and
+// out-of-range values with an error instead of panicking, so callers
+// parsing untrusted input (trace gaps, CLI flags) can surface a diagnostic
+// rather than crash.
+func TryNanos(ns float64) (Time, error) {
+	if math.IsNaN(ns) {
+		return 0, fmt.Errorf("duration is NaN")
+	}
+	if ns < 0 {
+		return 0, fmt.Errorf("negative duration %gns", ns)
+	}
+	if ns >= maxNanos {
+		return 0, fmt.Errorf("duration %gns overflows the picosecond clock", ns)
+	}
+	return Time(ns*float64(Nanosecond) + 0.5), nil
 }
 
 // Float64Nanos reports t in nanoseconds.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -302,4 +303,73 @@ func TestPipelineInvalid(t *testing.T) {
 		}
 	}()
 	NewPipeline("bad", 10, 0)
+}
+
+// TestTryNanos covers the checked conversion: valid values round to the
+// nearest picosecond, malformed ones (negative, NaN, Inf, overflow) return
+// an error instead of panicking.
+func TestTryNanos(t *testing.T) {
+	valid := []struct {
+		ns   float64
+		want Time
+	}{
+		{0, 0},
+		{1.5, 1500},
+		{0.0004, 0}, // rounds down
+		{0.0006, 1}, // rounds up to 1 ps
+		{51.54, 51540},
+		{1e9, Second},
+	}
+	for _, c := range valid {
+		got, err := TryNanos(c.ns)
+		if err != nil {
+			t.Errorf("TryNanos(%v) unexpected error: %v", c.ns, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("TryNanos(%v) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+
+	invalid := []float64{
+		-1, -0.001, math.NaN(), math.Inf(1),
+		float64(1<<63) / 1000, // exactly at the overflow boundary
+		1e300,
+	}
+	for _, ns := range invalid {
+		if got, err := TryNanos(ns); err == nil {
+			t.Errorf("TryNanos(%v) = %d, want error", ns, got)
+		}
+	}
+	// Negative infinity is negative, not NaN: still an error.
+	if _, err := TryNanos(math.Inf(-1)); err == nil {
+		t.Error("TryNanos(-Inf) accepted")
+	}
+}
+
+// TestTryNanosAgreesWithNanos fuzzes the checked and panicking forms
+// against each other over the valid domain.
+func TestTryNanosAgreesWithNanos(t *testing.T) {
+	f := func(raw uint32) bool {
+		ns := float64(raw) / 17.0
+		got, err := TryNanos(ns)
+		if err != nil {
+			return false
+		}
+		return got == Nanos(ns)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNanosPanicsOnNegative pins the panicking contract of the unchecked
+// form (internal-model bug escalation).
+func TestNanosPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Nanos(-1) did not panic")
+		}
+	}()
+	Nanos(-1)
 }

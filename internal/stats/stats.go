@@ -5,6 +5,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -33,6 +34,31 @@ func GeoMean(xs []float64) float64 {
 		s += math.Log(x)
 	}
 	return math.Exp(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile of xs by the nearest-rank method:
+// the smallest value with at least p% of the observations at or below it.
+// Input need not be sorted (a copy is sorted). Empty input returns 0; a
+// single element is every percentile of itself; p is clamped to [0, 100],
+// with p = 0 mapping to the minimum and p = 100 to the maximum.
+func Percentile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }
 
 // Max returns the maximum (0 for empty input).

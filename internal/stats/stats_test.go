@@ -68,3 +68,56 @@ func TestAddRowTruncates(t *testing.T) {
 		t.Error("extra cells should be dropped")
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	// Nearest-rank over a known distribution: 1..100, each percentile p
+	// picks the ceil(p)-th smallest element.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(100 - i) // reversed: Percentile must sort a copy
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {1, 1}, {50, 50}, {95, 95}, {99, 99}, {100, 100},
+		{50.5, 51}, // fractional percentile rounds rank up
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(1..100, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input order is preserved (sorts a copy).
+	if xs[0] != 100 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7.5}, 99); got != 7.5 {
+		t.Errorf("single-element p99 = %v, want 7.5", got)
+	}
+	if got := Percentile([]float64{7.5}, 0); got != 7.5 {
+		t.Errorf("single-element p0 = %v, want 7.5", got)
+	}
+	// Out-of-range percentiles clamp to the extremes.
+	xs := []float64{1, 2, 3}
+	if got := Percentile(xs, -10); got != 1 {
+		t.Errorf("p<0 = %v, want min", got)
+	}
+	if got := Percentile(xs, 200); got != 3 {
+		t.Errorf("p>100 = %v, want max", got)
+	}
+	// Two elements: p50 is the first (ceil(0.5*2)=1), p51 the second.
+	two := []float64{10, 20}
+	if got := Percentile(two, 50); got != 10 {
+		t.Errorf("two-element p50 = %v, want 10", got)
+	}
+	if got := Percentile(two, 51); got != 20 {
+		t.Errorf("two-element p51 = %v, want 20", got)
+	}
+}

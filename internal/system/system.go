@@ -19,6 +19,7 @@ import (
 	"obfusmem/internal/oram"
 	"obfusmem/internal/pcm"
 	"obfusmem/internal/sim"
+	"obfusmem/internal/trace"
 	"obfusmem/internal/xrand"
 )
 
@@ -80,6 +81,11 @@ type Config struct {
 	// their counts then aggregate. Nil (the default) disables with a
 	// nil-instrument fast path, keeping the hot path unperturbed.
 	Metrics *metrics.Registry
+	// Trace, when non-nil, turns on per-request lifecycle tracing: the bus,
+	// memory controller, PCM devices, and ObfusMem controller record spans
+	// into this recorder. Unlike Metrics, a Recorder is single-threaded —
+	// never share one across concurrently-driven systems. Nil disables.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns a single-channel machine in the given mode with the
@@ -118,11 +124,13 @@ func New(cfg Config) *System {
 	mcfg := memctl.DefaultConfig(cfg.Channels)
 	mcfg.WearLevel = cfg.WearLevel
 	mcfg.Metrics = cfg.Metrics
+	mcfg.Trace = cfg.Trace
 	if cfg.DRAM {
 		mcfg.PCM.Timing = pcm.DRAMTiming()
 	}
 	bcfg := bus.DefaultConfig(cfg.Channels)
 	bcfg.Metrics = cfg.Metrics
+	bcfg.Trace = cfg.Trace
 	s := &System{
 		cfg: cfg,
 		bus: bus.New(bcfg),
@@ -144,6 +152,7 @@ func New(cfg Config) *System {
 		table := s.establishKeys()
 		ocfg := cfg.Obfus
 		ocfg.Metrics = cfg.Metrics
+		ocfg.Trace = cfg.Trace
 		s.obf = obfus.New(ocfg, s.bus, s.mem, table, s.rng.Fork(2))
 		s.enc = ctrmode.New(memKey, s.obfusFetch)
 		if cfg.IntegrityTree {

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event JSON export (the "JSON Array Format" object variant),
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing. Timestamps
+// are emitted in microseconds (the format's unit) with sub-nanosecond
+// precision preserved as fractions; displayTimeUnit asks viewers to render
+// in nanoseconds. pid maps to a memory channel (pid 0 is the processor
+// side) and tid to one engine, link, or bank within it.
+
+// chromeEvent is one trace event.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level export object.
+type chromeFile struct {
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+}
+
+const psPerMicro = 1e6
+
+// WriteChromeTrace exports the retained spans as Chrome trace-event JSON.
+// The dropped-span count is embedded in otherData so truncation is never
+// silent; callers should additionally surface it to the user.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	spans := r.Spans()
+
+	// Intern (pid, tid-name) pairs to integer tids and emit naming
+	// metadata so Perfetto shows "channel 1 / req-link" style tracks.
+	type track struct{ pid, tid int }
+	tids := make(map[string]track)
+	pids := make(map[int]bool)
+	var events []chromeEvent
+	for _, s := range spans {
+		pids[s.PID] = true
+		key := fmt.Sprintf("%d/%s", s.PID, s.TID)
+		tr, ok := tids[key]
+		if !ok {
+			tr = track{pid: s.PID, tid: len(tids) + 1}
+			tids[key] = tr
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: s.PID, TID: tr.tid,
+				Args: map[string]any{"name": s.TID},
+			})
+		}
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat.String(),
+			PID:  s.PID,
+			TID:  tr.tid,
+			TS:   float64(s.Begin) / psPerMicro,
+		}
+		if len(s.Args) > 0 || s.Req != 0 {
+			ev.Args = make(map[string]any, len(s.Args)+1)
+			if s.Req != 0 {
+				ev.Args["req"] = s.Req
+			}
+			for _, a := range s.Args {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		if s.Phase == PhaseInstant {
+			ev.Ph = "i"
+			ev.Scope = "t"
+		} else {
+			ev.Ph = "X"
+			dur := float64(s.End-s.Begin) / psPerMicro
+			ev.Dur = &dur
+		}
+		events = append(events, ev)
+	}
+	for pid := range pids {
+		name := "cpu"
+		if pid > 0 {
+			name = fmt.Sprintf("channel %d", pid-1)
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	// Stable time order (metadata first at ts 0): viewers do not require
+	// it, but it keeps the export deterministic and per-track monotonic.
+	sort.SliceStable(events, func(i, j int) bool {
+		mi, mj := events[i].Ph == "M", events[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		return events[i].TS < events[j].TS
+	})
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]any{
+			"droppedSpans":  r.Dropped(),
+			"retainedSpans": r.Len(),
+			"spanLimit":     r.Limit(),
+		},
+		TraceEvents: events,
+	})
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"obfusmem/internal/metrics"
+	"obfusmem/internal/sim"
+)
+
+// Sampler snapshots a metrics registry on fixed sim-time boundaries,
+// turning the PR 1 cumulative counters into a time series (bus utilization
+// over time, dummy rate over time, ...). The core model pokes Advance with
+// the current sim time as it issues requests; one snapshot row is recorded
+// for every interval boundary crossed since the previous poke.
+//
+// Because the simulation only mutates metrics while servicing requests, a
+// boundary with no intervening request sees an unchanged registry, so
+// recording the current snapshot for each crossed boundary is exact up to
+// the granularity of request processing.
+//
+// The nil Sampler is the disabled sampler: Advance is a no-op.
+type Sampler struct {
+	reg     *metrics.Registry
+	every   sim.Time
+	limit   int
+	times   []sim.Time
+	rows    []metrics.Snapshot
+	nextK   int64 // next boundary index to record (boundary time = nextK*every)
+	dropped uint64
+}
+
+// DefaultSampleLimit bounds retained sample rows.
+const DefaultSampleLimit = 100_000
+
+// NewSampler returns a sampler over reg with the given interval. Panics on
+// a non-positive interval; a nil registry yields empty (but well-formed)
+// rows.
+func NewSampler(reg *metrics.Registry, every sim.Time) *Sampler {
+	if every <= 0 {
+		panic("trace: non-positive sample interval")
+	}
+	return &Sampler{reg: reg, every: every, limit: DefaultSampleLimit, nextK: 1}
+}
+
+// Advance records one snapshot row for each interval boundary at or before
+// now that has not been recorded yet. No-op on a nil sampler.
+func (s *Sampler) Advance(now sim.Time) {
+	if s == nil {
+		return
+	}
+	if now < s.every*sim.Time(s.nextK) {
+		return
+	}
+	snap := s.reg.Snapshot()
+	for s.every*sim.Time(s.nextK) <= now {
+		if len(s.rows) >= s.limit {
+			s.dropped++
+		} else {
+			s.times = append(s.times, s.every*sim.Time(s.nextK))
+			s.rows = append(s.rows, snap)
+		}
+		s.nextK++
+	}
+}
+
+// Rows returns the number of retained sample rows.
+func (s *Sampler) Rows() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.rows)
+}
+
+// Dropped returns boundaries beyond the retention cap (never truncated
+// silently: exporters surface this).
+func (s *Sampler) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped
+}
+
+// Interval returns the sampling period.
+func (s *Sampler) Interval() sim.Time {
+	if s == nil {
+		return 0
+	}
+	return s.every
+}
+
+// WriteCSV emits the time series: one row per boundary, first column
+// time_us, then every counter and gauge that exists in the final snapshot,
+// sorted by name (counters then gauges). Metrics created after a given
+// sample read as 0 in earlier rows.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	var counterNames, gaugeNames []string
+	if n := len(s.rows); n > 0 {
+		last := s.rows[n-1]
+		for name := range last.Counters {
+			counterNames = append(counterNames, name)
+		}
+		for name := range last.Gauges {
+			gaugeNames = append(gaugeNames, name)
+		}
+	}
+	sort.Strings(counterNames)
+	sort.Strings(gaugeNames)
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "time_us")
+	for _, n := range counterNames {
+		fmt.Fprintf(bw, ",%s", n)
+	}
+	for _, n := range gaugeNames {
+		fmt.Fprintf(bw, ",%s", n)
+	}
+	fmt.Fprintln(bw)
+	for i, row := range s.rows {
+		fmt.Fprintf(bw, "%.3f", float64(s.times[i])/float64(sim.Microsecond))
+		for _, n := range counterNames {
+			fmt.Fprintf(bw, ",%d", row.Counters[n])
+		}
+		for _, n := range gaugeNames {
+			fmt.Fprintf(bw, ",%g", row.Gauges[n])
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -38,22 +38,30 @@ func ReadTrace(r io.Reader) ([]Request, error) {
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	var out []Request
 	lineNo := 0
+	seenData := false
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		if lineNo == 1 && strings.HasPrefix(line, "gap_ns") {
-			continue // header
+		// The header may be preceded by comments or blank lines, so it is
+		// recognised anywhere before the first data row, not only on line 1.
+		if !seenData && strings.HasPrefix(line, "gap_ns") {
+			continue
 		}
+		seenData = true
 		parts := strings.Split(line, ",")
 		if len(parts) != 3 {
 			return nil, fmt.Errorf("workload: trace line %d: want 3 fields, got %d", lineNo, len(parts))
 		}
 		gap, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
-		if err != nil || gap < 0 {
+		if err != nil {
 			return nil, fmt.Errorf("workload: trace line %d: bad gap %q", lineNo, parts[0])
+		}
+		gapT, err := sim.TryNanos(gap)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad gap %q: %v", lineNo, parts[0], err)
 		}
 		addrStr := strings.TrimSpace(parts[1])
 		addr, err := strconv.ParseUint(strings.TrimPrefix(addrStr, "0x"), base(addrStr), 64)
@@ -64,7 +72,7 @@ func ReadTrace(r io.Reader) ([]Request, error) {
 		if err != nil || (wr != 0 && wr != 1) {
 			return nil, fmt.Errorf("workload: trace line %d: bad write flag %q", lineNo, parts[2])
 		}
-		out = append(out, Request{Gap: sim.Nanos(gap), Addr: addr &^ 63, Write: wr == 1})
+		out = append(out, Request{Gap: gapT, Addr: addr &^ 63, Write: wr == 1})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

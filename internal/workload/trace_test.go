@@ -74,3 +74,54 @@ func TestGenerateDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestReadTraceHeaderAfterComments is the regression test for the header
+// detection fix: tracegen-style files that open with comments or blank
+// lines before the "gap_ns,addr,write" header must parse, and a header
+// line must never be skipped once data has started.
+func TestReadTraceHeaderAfterComments(t *testing.T) {
+	in := "# produced by cmd/tracegen\n# bench: milc\n\ngap_ns,addr,write\n10.5,0x1000,0\n20,4096,1\n"
+	reqs, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("trace with leading comments rejected: %v", err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("got %d requests, want 2", len(reqs))
+	}
+	if reqs[0].Addr != 0x1000 || reqs[0].Write {
+		t.Fatalf("req 0 = %+v", reqs[0])
+	}
+
+	// Headerless traces still parse (the header is optional either way).
+	reqs, err = ReadTrace(strings.NewReader("# comment only\n1.0,0x40,0\n"))
+	if err != nil || len(reqs) != 1 {
+		t.Fatalf("headerless trace: reqs=%d err=%v", len(reqs), err)
+	}
+
+	// A "gap_ns" line after the first data row is data, not a header, and
+	// must be rejected as malformed rather than silently skipped.
+	if _, err := ReadTrace(strings.NewReader("1.0,0x40,0\ngap_ns,addr,write\n")); err == nil {
+		t.Error("mid-file header line silently skipped")
+	}
+}
+
+// TestReadTraceBadGapNoPanic pins the TryNanos integration: malformed gaps
+// (negative, NaN, absurd) surface as errors with line numbers, never as
+// panics from sim.Nanos.
+func TestReadTraceBadGapNoPanic(t *testing.T) {
+	bad := []string{
+		"gap_ns,addr,write\nNaN,0x10,0\n",
+		"gap_ns,addr,write\n-0.5,0x10,0\n",
+		"gap_ns,addr,write\n1e300,0x10,0\n",
+	}
+	for i, in := range bad {
+		reqs, err := ReadTrace(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("case %d: malformed gap accepted: %+v", i, reqs)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("case %d: error lacks line number: %v", i, err)
+		}
+	}
+}

@@ -2,9 +2,12 @@
 #
 #   make check   - tier-1 verify: build + full test suite
 #   make vet     - static analysis
-#   make race    - full test suite under the race detector (runSuite's
-#                  parallel fan-out, the shared metrics registry, and every
-#                  concurrent test path)
+#   make race    - test suite under the race detector in -short mode
+#                  (runSuite's parallel fan-out, the shared metrics registry,
+#                  and every concurrent test path; -short keeps CI runtime
+#                  bounded and skips wall-clock assertions that race
+#                  instrumentation would distort)
+#   make race-full - the complete suite under the race detector
 #   make bench   - the evaluation benchmark harness (also refreshes the
 #                  BENCH_*.json perf-trajectory snapshot via TestEmitBenchTrajectory)
 #   make ci      - everything CI runs: vet + check + race
@@ -15,7 +18,7 @@
 
 GO ?= go
 
-.PHONY: check vet race bench ci trace-demo
+.PHONY: check vet race race-full bench ci trace-demo
 
 check:
 	$(GO) build ./...
@@ -25,6 +28,9 @@ vet:
 	$(GO) vet ./...
 
 race:
+	$(GO) test -race -short ./...
+
+race-full:
 	$(GO) test -race ./...
 
 bench:

@@ -20,6 +20,7 @@ import (
 	"obfusmem/internal/cpu"
 	"obfusmem/internal/exp"
 	"obfusmem/internal/metrics"
+	"obfusmem/internal/obfus"
 	"obfusmem/internal/stats"
 	"obfusmem/internal/system"
 	"obfusmem/internal/trace"
@@ -32,8 +33,8 @@ import (
 // across the PR sequence. benchPrevTrajectoryFile is the preceding PR's
 // committed snapshot, used as the regression baseline.
 const (
-	benchTrajectoryFile     = "BENCH_PR2.json"
-	benchPrevTrajectoryFile = "BENCH_PR1.json"
+	benchTrajectoryFile     = "BENCH_PR3.json"
+	benchPrevTrajectoryFile = "BENCH_PR2.json"
 )
 
 // trajectoryRun is one wall-clock measurement in the trajectory file.
@@ -57,9 +58,10 @@ type trajectory struct {
 		ObfusOverhead   float64 `json:"obfus_overhead_pct"`
 		SpeedupX        float64 `json:"speedup_x"`
 	} `json:"headline"`
-	MetricsOverheadPct float64 `json:"metrics_overhead_pct"` // enabled vs disabled, same run
-	TraceOverheadPct   float64 `json:"trace_overhead_pct"`   // tracing on vs off, same run
-	VsPrevPct          float64 `json:"vs_prev_pct"`          // nil-off ns/request vs previous PR's snapshot
+	MetricsOverheadPct  float64 `json:"metrics_overhead_pct"`  // enabled vs disabled, same run
+	TraceOverheadPct    float64 `json:"trace_overhead_pct"`    // tracing on vs off, same run
+	RecoveryOverheadPct float64 `json:"recovery_overhead_pct"` // recovery protocol armed, zero faults, vs recovery off
+	VsPrevPct           float64 `json:"vs_prev_pct"`           // nil-off ns/request vs previous PR's snapshot
 }
 
 // wallClockRun measures simulator wall-clock cost per request for one
@@ -93,10 +95,15 @@ func wallClockRun(tb testing.TB, cfg system.Config, bench string, n, reps int, t
 // TestEmitBenchTrajectory regenerates this PR's BENCH_*.json snapshot. It
 // runs as part of the ordinary suite so the trajectory never goes stale.
 func TestEmitBenchTrajectory(t *testing.T) {
+	if testing.Short() {
+		// Wall-clock measurements are meaningless under -short's companions
+		// (-race instrumentation in particular inflates them several-fold).
+		t.Skip("trajectory snapshot needs undisturbed wall-clock runs")
+	}
 	const n, reps = 3000, 3
 	traj := trajectory{
-		PR:     2,
-		Label:  "request-lifecycle tracing layer",
+		PR:     3,
+		Label:  "fault-tolerant bus protocol",
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
@@ -135,6 +142,21 @@ func TestEmitBenchTrajectory(t *testing.T) {
 	traj.Runs = append(traj.Runs,
 		trajectoryRun{Name: "obfusmem-auth+trace/milc", Requests: n, NSPerRequest: trcNS})
 	traj.TraceOverheadPct = (trcNS - obfNS) / obfNS * 100
+
+	// Same run with the fault-recovery protocol armed but zero faults
+	// injected. The recovery code lives entirely on failure paths, so this
+	// must be within noise of the recovery-off run (the simulated-time
+	// equality is asserted exactly in TestRecoveryZeroFaultNoOverhead; this
+	// records the simulator's wall-clock side of the same claim).
+	obfRec := obf
+	obfRec.Obfus.Recovery = obfus.DefaultRecovery()
+	recNS := wallClockRun(t, obfRec, "milc", n, reps, false)
+	traj.Runs = append(traj.Runs,
+		trajectoryRun{Name: "obfusmem-auth+recovery/milc", Requests: n, NSPerRequest: recNS})
+	traj.RecoveryOverheadPct = (recNS - obfNS) / obfNS * 100
+	if traj.RecoveryOverheadPct > 25 {
+		t.Errorf("zero-fault recovery overhead %.1f%% is far beyond the within-noise budget", traj.RecoveryOverheadPct)
+	}
 
 	// Nil-off regression vs the previous PR's committed snapshot: the
 	// tracing hooks must be free when disabled (<2% target). Wall clock on

@@ -48,7 +48,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("obfsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		which      = fs.String("exp", "all", "experiment: all|none|table1|table2|table3|figure4|figure5|energy|table4|tampering|timing|sensitivity")
+		which      = fs.String("exp", "all", "experiment: all|none|table1|table2|table3|figure4|figure5|energy|table4|tampering|timing|sensitivity|faults")
 		requests   = fs.Int("requests", 8000, "memory requests per benchmark per configuration")
 		seed       = fs.Uint64("seed", 42, "global experiment seed")
 		serial     = fs.Bool("serial", false, "disable parallel benchmark execution")
@@ -65,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		traceBench  = fs.String("trace-bench", "milc", "benchmark profile for the traced run")
 		traceMode   = fs.String("trace-mode", "obfusmem-auth", "machine for the traced run: unprotected|encrypt-only|obfusmem|obfusmem-auth|oram")
 		traceChans  = fs.Int("trace-channels", 2, "channel count for the traced run")
+		traceFaults = fs.Float64("trace-faults", 0, "per-packet transient-fault rate for the traced run (0 disables; enables recovery on ObfusMem modes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,8 +100,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"tampering":   func() *stats.Table { return exp.Tampering(opts) },
 		"timing":      func() *stats.Table { return exp.TimingOblivious(opts) },
 		"sensitivity": func() *stats.Table { return exp.Sensitivity(opts) },
+		"faults":      func() *stats.Table { return exp.Faults(opts) },
 	}
-	order := []string{"table1", "table2", "table3", "figure4", "figure5", "energy", "table4", "tampering", "timing", "sensitivity"}
+	order := []string{"table1", "table2", "table3", "figure4", "figure5", "energy", "table4", "tampering", "timing", "sensitivity", "faults"}
 
 	names := order
 	switch *which {
@@ -141,6 +143,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Requests:      *requests,
 		Seed:          *seed,
 		Exposure:      *exposure,
+		FaultRate:     *traceFaults,
 		TraceOut:      *traceOut,
 		TraceLimit:    *traceLimit,
 		AttribOut:     *attribOut,

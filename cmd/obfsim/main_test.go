@@ -242,3 +242,47 @@ func TestTraceBadMode(t *testing.T) {
 		t.Fatalf("err = %v, want unknown-mode error", err)
 	}
 }
+
+// TestTraceFaultedRun drives a traced run with fault injection on: the
+// stderr report must carry the injector and recovery tallies, the trace
+// must contain recovery spans, and with the recovery protocol armed no
+// request may be silently lost (no degradation report unless quarantined).
+func TestTraceFaultedRun(t *testing.T) {
+	dir := t.TempDir()
+	traceOut := filepath.Join(dir, "trace.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-exp", "none", "-requests", "1500", "-seed", "7",
+		"-trace-out", traceOut, "-trace-faults", "0.005",
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, stderr.String())
+	}
+	serr := stderr.String()
+	for _, want := range []string{"faults:", "recovery:", "0 unaccounted"} {
+		if !strings.Contains(serr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, serr)
+		}
+	}
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	for _, span := range []string{"ctr-resync", "retry-backoff"} {
+		if !strings.Contains(string(raw), span) {
+			t.Errorf("trace missing recovery span %q", span)
+		}
+	}
+}
+
+// TestExpFaultsRuns drives the fault-injection experiment through the CLI.
+func TestExpFaultsRuns(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-exp", "faults", "-requests", "800"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Fault injection") || !strings.Contains(out, "Quarantines") {
+		t.Fatalf("faults table not printed:\n%s", out)
+	}
+}

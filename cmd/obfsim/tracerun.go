@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"obfusmem/internal/cpu"
+	"obfusmem/internal/fault"
 	"obfusmem/internal/metrics"
 	"obfusmem/internal/obfus"
 	"obfusmem/internal/sim"
@@ -23,6 +24,10 @@ type traceOptions struct {
 	Requests int
 	Seed     uint64
 	Exposure float64
+	// FaultRate > 0 injects uniform transient bus faults at that per-packet
+	// rate and (for the ObfusMem modes) turns the recovery protocol on, so
+	// retry/resync spans show up in the exported trace.
+	FaultRate float64
 
 	TraceOut   string // Chrome trace JSON path; "" disables, "-" is stdout
 	TraceLimit int
@@ -75,6 +80,13 @@ func traceRun(o traceOptions, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if o.FaultRate > 0 {
+		fc := fault.Uniform(o.FaultRate, 0) // Seed 0: derive from the machine seed
+		scfg.Fault = &fc
+		if scfg.Mode == system.ObfusMem {
+			scfg.Obfus.Recovery = obfus.DefaultRecovery()
+		}
+	}
 
 	rec := trace.New(o.TraceLimit)
 	scfg.Trace = rec
@@ -97,6 +109,19 @@ func traceRun(o traceOptions, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "[trace run: %s on %s x%d, %d requests, exec %.1f us, mean read %.1f ns]\n",
 		o.Bench, o.Mode, o.Channels, o.Requests,
 		res.ExecTime.Float64Nanos()/1000, res.MeanReadNS)
+	if inj := sys.FaultInjector(); inj != nil {
+		fs := inj.Stats()
+		fmt.Fprintf(stderr, "[faults: %d fault events over %d packets (%d lost, %d cmd flips, %d data flips, %d MAC flips, %d stalls)]\n",
+			fs.Faults(), fs.Packets, fs.Losses, fs.CmdFlips, fs.DataFlips, fs.MACFlips, fs.Stalls)
+		if obf := sys.Obfus(); obf != nil {
+			st := obf.Stats()
+			fmt.Fprintf(stderr, "[recovery: %d retransmits, %d NACKs, %d resyncs, %d recovered, %d quarantines, %d unaccounted]\n",
+				st.Retransmits, st.NACKsSent, st.Resyncs, st.Recovered, st.Quarantines, st.UnaccountedFailures())
+		}
+	}
+	if err := sys.Err(); err != nil {
+		fmt.Fprintf(stderr, "[machine degraded: %v]\n", err)
+	}
 
 	if o.TraceOut != "" {
 		if err := writeTo(o.TraceOut, stdout, rec.WriteChromeTrace); err != nil {

@@ -69,7 +69,11 @@ func NewTamperer(kind TamperKind, everyN int, rng *xrand.Rand) *Tamperer {
 	return &Tamperer{Kind: kind, EveryN: everyN, rng: rng, history: make(map[int]*bus.Packet)}
 }
 
-// Tamper implements bus.Tamperer.
+// Tamper implements bus.Tamperer. The pass-through path (every packet that
+// is not attacked) is allocation-free: the replay history records a deep
+// copy only when the *next* eligible packet will be attacked (it is the
+// replay source), and the mutating attacks copy only the packet they
+// actually corrupt.
 func (t *Tamperer) Tamper(at sim.Time, p *bus.Packet) *bus.Packet {
 	if t.Kind == TamperNone {
 		return p
@@ -81,44 +85,44 @@ func (t *Tamperer) Tamper(at sim.Time, p *bus.Packet) *bus.Packet {
 	if !eligible {
 		return p
 	}
-	// Keep a copy for replay before deciding.
-	prev := t.history[p.Channel]
-	cp := *p
-	if len(p.Data) > 0 {
-		cp.Data = append([]byte(nil), p.Data...)
-	}
-	t.history[p.Channel] = &cp
-
 	t.seen++
-	if t.seen%t.EveryN != 0 {
+	attack := t.seen%t.EveryN == 0
+	if t.Kind == TamperReplay {
+		prev := t.history[p.Channel]
+		if (t.seen+1)%t.EveryN == 0 || t.EveryN == 1 {
+			// This packet is the upcoming attack's replay source; only now
+			// is the deep copy needed.
+			cp := *p
+			if len(p.Data) > 0 {
+				cp.Data = append([]byte(nil), p.Data...)
+			}
+			t.history[p.Channel] = &cp
+		}
+		if !attack || prev == nil {
+			return p
+		}
+		t.Attacked++
+		return prev
+	}
+	if !attack {
 		return p
 	}
 	t.Attacked++
+	if t.Kind == TamperDrop {
+		return nil
+	}
+	out := *p
 	switch t.Kind {
 	case TamperModify:
-		out := cp
 		// Flip within the type/address region of the field. Flips in the
 		// trailing padding bytes are semantically inert (decode ignores
 		// them), so this models the attacker's *effective* modifications.
 		out.CmdCipher[t.rng.Intn(9)] ^= byte(1 + t.rng.Intn(255))
-		return &out
-	case TamperDrop:
-		return nil
-	case TamperReplay:
-		if prev == nil {
-			t.Attacked--
-			return p
-		}
-		return prev
 	case TamperMAC:
-		out := cp
 		out.MAC ^= 1 << uint(t.rng.Intn(64))
-		return &out
 	case TamperData:
-		out := cp
+		out.Data = append([]byte(nil), p.Data...)
 		out.Data[t.rng.Intn(len(out.Data))] ^= byte(1 + t.rng.Intn(255))
-		return &out
-	default:
-		return p
 	}
+	return &out
 }

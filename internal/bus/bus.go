@@ -63,6 +63,42 @@ const (
 	MACBytes  = 8  // truncated MD5 tag
 )
 
+// ControlKind tags the protocol control packets of the fault-tolerant bus
+// protocol (NACK / counter resync). On the wire a control packet is one
+// encrypted command-sized field (plus MAC when authentication is on), so an
+// observer cannot distinguish it from an ordinary command; the kind rides
+// along as ground truth for endpoints and tests.
+type ControlKind int
+
+// Control packet kinds.
+const (
+	// ControlNone marks an ordinary data-path packet.
+	ControlNone ControlKind = iota
+	// ControlNACK is the memory's rejection notice for a request that
+	// failed MAC verification.
+	ControlNACK
+	// ControlResyncReq asks the memory to resynchronise the per-channel
+	// CTR counters to the value carried (encrypted) in the command field.
+	ControlResyncReq
+	// ControlResyncResp acknowledges a resync.
+	ControlResyncResp
+)
+
+func (k ControlKind) String() string {
+	switch k {
+	case ControlNone:
+		return "none"
+	case ControlNACK:
+		return "nack"
+	case ControlResyncReq:
+		return "resync-req"
+	case ControlResyncResp:
+		return "resync-resp"
+	default:
+		return fmt.Sprintf("ControlKind(%d)", int(k))
+	}
+}
+
 // Packet is one bus transfer.
 type Packet struct {
 	Channel int
@@ -82,6 +118,9 @@ type Packet struct {
 	Plaintext bool // command field is plaintext (unprotected system)
 	Counter   uint64
 	Seq       uint64 // global issue sequence, for correlating req/reply
+	// Control marks protocol control packets (NACK/resync); ControlNone
+	// for the ordinary data path.
+	Control ControlKind
 }
 
 // WireBytes returns the number of bytes the packet occupies on the link.
@@ -115,13 +154,22 @@ type Tamperer interface {
 	Tamper(at sim.Time, p *Packet) *Packet
 }
 
+// FaultInjector models non-adversarial transient faults on the link: it
+// returns the packet as delivered (nil when lost, a modified copy when
+// corrupted) and any extra delivery delay from a transient channel stall.
+// Faults apply after the tamperer — they strike the final wire signal.
+type FaultInjector interface {
+	Inject(at sim.Time, p *Packet) (out *Packet, delay sim.Time)
+}
+
 // ChannelStats aggregates per-channel traffic counters.
 type ChannelStats struct {
-	Packets      uint64
-	DummyPackets uint64
-	Bytes        uint64
-	ReqBusy      sim.Time
-	RespBusy     sim.Time
+	Packets        uint64
+	DummyPackets   uint64
+	ControlPackets uint64 // NACK/resync control traffic
+	Bytes          uint64
+	ReqBusy        sim.Time
+	RespBusy       sim.Time
 }
 
 // Config describes the physical link.
@@ -153,13 +201,14 @@ func DefaultConfig(channels int) Config {
 // chanMetrics holds one channel's observability instruments. The zero
 // value (all nil) is the disabled state: every update is a no-op.
 type chanMetrics struct {
-	cmdPackets   *metrics.Counter
-	readPackets  *metrics.Counter
-	writePackets *metrics.Counter
-	dummyPackets *metrics.Counter
-	bytes        *metrics.Counter
-	reqBusyPS    *metrics.Counter // serialization time, request direction (ps)
-	respBusyPS   *metrics.Counter // serialization time, reply direction (ps)
+	cmdPackets     *metrics.Counter
+	readPackets    *metrics.Counter
+	writePackets   *metrics.Counter
+	dummyPackets   *metrics.Counter
+	controlPackets *metrics.Counter
+	bytes          *metrics.Counter
+	reqBusyPS      *metrics.Counter // serialization time, request direction (ps)
+	respBusyPS     *metrics.Counter // serialization time, reply direction (ps)
 }
 
 // Bus is the set of memory channels.
@@ -171,6 +220,7 @@ type Bus struct {
 	met       []chanMetrics
 	observers []Observer
 	tamperer  Tamperer
+	faults    FaultInjector
 	tr        *trace.Recorder
 	psPerByte float64
 }
@@ -197,13 +247,14 @@ func New(cfg Config) *Bus {
 		b.resp[i] = sim.NewResource(fmt.Sprintf("ch%d-resp", i))
 		if sc := cfg.Metrics.Scope(fmt.Sprintf("bus.ch%d", i)); sc != nil {
 			b.met[i] = chanMetrics{
-				cmdPackets:   sc.Counter("cmd_packets"),
-				readPackets:  sc.Counter("read_packets"),
-				writePackets: sc.Counter("write_packets"),
-				dummyPackets: sc.Counter("dummy_packets"),
-				bytes:        sc.Counter("bytes"),
-				reqBusyPS:    sc.Counter("req_busy_ps"),
-				respBusyPS:   sc.Counter("resp_busy_ps"),
+				cmdPackets:     sc.Counter("cmd_packets"),
+				readPackets:    sc.Counter("read_packets"),
+				writePackets:   sc.Counter("write_packets"),
+				dummyPackets:   sc.Counter("dummy_packets"),
+				controlPackets: sc.Counter("control_packets"),
+				bytes:          sc.Counter("bytes"),
+				reqBusyPS:      sc.Counter("req_busy_ps"),
+				respBusyPS:     sc.Counter("resp_busy_ps"),
 			}
 		}
 	}
@@ -221,6 +272,10 @@ func (b *Bus) AttachObserver(o Observer) { b.observers = append(b.observers, o) 
 
 // SetTamperer installs an active attacker (nil to remove).
 func (b *Bus) SetTamperer(t Tamperer) { b.tamperer = t }
+
+// SetFaultInjector installs a transient-fault model (nil to remove). It
+// applies after the tamperer, to the signal actually on the wire.
+func (b *Bus) SetFaultInjector(f FaultInjector) { b.faults = f }
 
 // TransferTime returns the link occupancy of n bytes.
 func (b *Bus) TransferTime(n int) sim.Time {
@@ -248,6 +303,9 @@ func (b *Bus) Transfer(at sim.Time, p *Packet) (arrive sim.Time, delivered *Pack
 	if p.IsDummy {
 		st.DummyPackets++
 	}
+	if p.Control != ControlNone {
+		st.ControlPackets++
+	}
 	if p.Dir == ProcToMem {
 		st.ReqBusy += hold
 	} else {
@@ -262,9 +320,12 @@ func (b *Bus) Transfer(at sim.Time, p *Packet) (arrive sim.Time, delivered *Pack
 	if p.IsDummy {
 		m.dummyPackets.Inc()
 	}
-	if p.Type == Write {
+	switch {
+	case p.Control != ControlNone:
+		m.controlPackets.Inc()
+	case p.Type == Write:
 		m.writePackets.Inc()
-	} else {
+	default:
 		m.readPackets.Inc()
 	}
 	if p.Dir == ProcToMem {
@@ -296,12 +357,31 @@ func (b *Bus) Transfer(at sim.Time, p *Packet) (arrive sim.Time, delivered *Pack
 	if b.tamperer != nil {
 		out = b.tamperer.Tamper(start, p)
 	}
-	return start + hold + b.cfg.PropagationDelay, out
+	arrive = start + hold + b.cfg.PropagationDelay
+	if b.faults != nil && out != nil {
+		var stall sim.Time
+		out, stall = b.faults.Inject(start, out)
+		if stall > 0 {
+			if b.tr != nil {
+				tid := "req-link"
+				if p.Dir == MemToProc {
+					tid = "resp-link"
+				}
+				b.tr.Span(trace.ChannelPID(p.Channel), tid, trace.CatBus,
+					"fault-stall", arrive, arrive+stall)
+			}
+			arrive += stall
+		}
+	}
+	return arrive, out
 }
 
 // legName describes the wire composition of a packet for its trace span:
 // which legs (cmd, data, mac) it carries and whether it is a dummy.
 func legName(p *Packet) string {
+	if p.Control != ControlNone {
+		return p.Control.String()
+	}
 	name := ""
 	if p.HasCmd {
 		name = "cmd"
@@ -351,7 +431,9 @@ func (b *Bus) Utilization(channel int, now sim.Time) float64 {
 	return b.req[channel].Utilization(now)
 }
 
-// Reset clears occupancy and counters but keeps observers and tamperers.
+// Reset clears occupancy and counters but keeps observers, tamperers, and
+// fault injectors (an injector holds its own random stream; reset it
+// separately to replay an identical fault sequence).
 func (b *Bus) Reset() {
 	for i := range b.req {
 		b.req[i].Reset()

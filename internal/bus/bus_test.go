@@ -162,3 +162,127 @@ func TestPropagationDelay(t *testing.T) {
 		t.Fatalf("arrive = %v, want 12ns (5 burst + 7 propagation)", arrive)
 	}
 }
+
+// stubInjector implements FaultInjector with a scripted behaviour.
+type stubInjector struct {
+	drop  bool
+	stall sim.Time
+	calls int
+}
+
+func (s *stubInjector) Inject(at sim.Time, p *Packet) (*Packet, sim.Time) {
+	s.calls++
+	if s.drop {
+		return nil, 0
+	}
+	return p, s.stall
+}
+
+func TestFaultInjectorDropsAndStalls(t *testing.T) {
+	b := New(DefaultConfig(1))
+	inj := &stubInjector{stall: 7 * sim.Nanosecond}
+	b.SetFaultInjector(inj)
+
+	p := &Packet{Channel: 0, Dir: ProcToMem, HasCmd: true}
+	base, _ := New(DefaultConfig(1)).Transfer(0, p)
+	arrive, del := b.Transfer(0, p)
+	if del != p {
+		t.Fatal("stall-only injection must deliver the packet")
+	}
+	if arrive != base+7*sim.Nanosecond {
+		t.Fatalf("arrive = %v, want base %v + 7ns stall", arrive, base)
+	}
+
+	inj.drop, inj.stall = true, 0
+	if _, del := b.Transfer(arrive, p); del != nil {
+		t.Fatal("dropped packet was delivered")
+	}
+	if inj.calls != 2 {
+		t.Fatalf("injector saw %d packets, want 2", inj.calls)
+	}
+}
+
+// TestFaultAfterTamperer: a tamperer-dropped packet never reaches the fault
+// injector (faults strike the signal actually on the wire).
+func TestFaultAfterTamperer(t *testing.T) {
+	b := New(DefaultConfig(1))
+	b.SetTamperer(tamperFunc(func(at sim.Time, p *Packet) *Packet { return nil }))
+	inj := &stubInjector{}
+	b.SetFaultInjector(inj)
+	b.Transfer(0, &Packet{Channel: 0, Dir: ProcToMem, HasCmd: true})
+	if inj.calls != 0 {
+		t.Fatalf("injector saw a packet the tamperer had already dropped")
+	}
+}
+
+type tamperFunc func(at sim.Time, p *Packet) *Packet
+
+func (f tamperFunc) Tamper(at sim.Time, p *Packet) *Packet { return f(at, p) }
+
+// TestResetRestoresCleanState is the satellite check for the recovery
+// layer: after a faulted, tampered, control-traffic-carrying run, Reset
+// must return per-channel stats and occupancy to a truly clean state while
+// keeping the attached observers, tamperer, and fault injector installed.
+func TestResetRestoresCleanState(t *testing.T) {
+	b := New(DefaultConfig(2))
+	var observed int
+	b.AttachObserver(ObserverFunc(func(at sim.Time, p *Packet) { observed++ }))
+	dropEvery2 := 0
+	b.SetTamperer(tamperFunc(func(at sim.Time, p *Packet) *Packet {
+		dropEvery2++
+		if dropEvery2%2 == 0 {
+			return nil
+		}
+		return p
+	}))
+	inj := &stubInjector{stall: 3 * sim.Nanosecond}
+	b.SetFaultInjector(inj)
+
+	mk := func(ch int) *Packet {
+		return &Packet{Channel: ch, Dir: ProcToMem, HasCmd: true, HasMAC: true,
+			Data: make([]byte, DataBytes), IsDummy: ch == 1, Control: ControlKind(ch)}
+	}
+	for i := 0; i < 6; i++ {
+		b.Transfer(sim.Time(i), mk(i%2))
+	}
+	if b.Stats()[0].Packets == 0 || b.Stats()[1].ControlPackets == 0 {
+		t.Fatal("faulted run recorded no traffic; test is vacuous")
+	}
+
+	b.Reset()
+
+	for ch, st := range b.Stats() {
+		if st != (ChannelStats{}) {
+			t.Fatalf("channel %d stats not clean after Reset: %+v", ch, st)
+		}
+	}
+	if b.TotalBytes() != 0 {
+		t.Fatalf("TotalBytes = %d after Reset", b.TotalBytes())
+	}
+	for ch := 0; ch < 2; ch++ {
+		if !b.IdleAt(ch, 0) {
+			t.Fatalf("channel %d request link busy after Reset", ch)
+		}
+		if u := b.Utilization(ch, sim.Nanosecond); u != 0 {
+			t.Fatalf("channel %d utilization %v after Reset", ch, u)
+		}
+	}
+	// Occupancy restarts from scratch: a transfer at t=0 arrives exactly
+	// where it would on a fresh bus (plus the injector's scripted stall).
+	fresh := New(DefaultConfig(2))
+	wantArrive, _ := fresh.Transfer(0, mk(0))
+	obsBefore, tamperBefore, injBefore := observed, dropEvery2, inj.calls
+	gotArrive, del := b.Transfer(0, mk(0))
+	if gotArrive != wantArrive+inj.stall {
+		t.Fatalf("post-Reset arrival %v, want fresh-bus %v + stall %v", gotArrive, wantArrive, inj.stall)
+	}
+	if observed != obsBefore+1 {
+		t.Fatal("observer detached by Reset")
+	}
+	if dropEvery2 != tamperBefore+1 {
+		t.Fatal("tamperer detached by Reset")
+	}
+	if inj.calls != injBefore+1 || del == nil && dropEvery2%2 != 0 {
+		t.Fatal("fault injector detached by Reset")
+	}
+}

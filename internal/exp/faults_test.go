@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestFaultsTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep is slow")
+	}
+	tb := Faults(testOpts())
+	if tb.Rows() != len(faultRates) {
+		t.Fatalf("rows = %d, want %d", tb.Rows(), len(faultRates))
+	}
+	// Row 0 is the fault-free baseline: no faults, no recovery activity,
+	// zero slowdown by construction.
+	for c, want := range map[int]string{2: "0", 3: "0", 5: "0", 7: "0"} {
+		if got := tb.Cell(0, c); got != want {
+			t.Errorf("fault-free row, column %d = %q, want %q", c, got, want)
+		}
+	}
+	if got := tb.Cell(0, 1); got != "0.00%" {
+		t.Errorf("fault-free slowdown = %q, want 0.00%%", got)
+	}
+	for r := range faultRates {
+		// The acceptance criterion: no silently lost requests at any rate.
+		if got := tb.Cell(r, 8); got != "0" {
+			t.Errorf("rate %g: lost column = %q, want 0", faultRates[r], got)
+		}
+		if r == 0 {
+			continue
+		}
+		faults, err := strconv.Atoi(tb.Cell(r, 2))
+		if err != nil || faults == 0 {
+			t.Errorf("rate %g: injected faults = %q, want > 0", faultRates[r], tb.Cell(r, 2))
+		}
+		recovered, err := strconv.Atoi(tb.Cell(r, 6))
+		if err != nil {
+			t.Fatalf("rate %g: bad recovered cell %q", faultRates[r], tb.Cell(r, 6))
+		}
+		retrans, _ := strconv.Atoi(tb.Cell(r, 3))
+		if faults > 20 && (recovered == 0 || retrans == 0) {
+			t.Errorf("rate %g: %d faults but recovered=%d retransmits=%d",
+				faultRates[r], faults, recovered, retrans)
+		}
+	}
+}

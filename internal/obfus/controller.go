@@ -21,6 +21,11 @@ import (
 // working when mass sits in the lowest buckets.
 var macSlackBucketsNS = []float64{0.5, 1, 2, 4, 8, 16, 32, 64}
 
+// recoveryLatencyBucketsNS buckets the time from first failure detection to
+// successful recovery of a request leg (backoff + resync handshake +
+// retransmission, possibly iterated).
+var recoveryLatencyBucketsNS = []float64{100, 250, 500, 1000, 2500, 5000, 10000, 25000}
+
 // ctrlMetrics is the controller's observability instrument set; the zero
 // value is the disabled state.
 type ctrlMetrics struct {
@@ -34,7 +39,13 @@ type ctrlMetrics struct {
 	idleEpochFills    *metrics.Counter
 	macsComputed      *metrics.Counter
 	tamperDetected    *metrics.Counter
+	retransmits       *metrics.Counter
+	nacksSent         *metrics.Counter
+	resyncs           *metrics.Counter
+	recovered         *metrics.Counter
+	quarantines       *metrics.Counter
 	macSlackNS        *metrics.Histogram
+	recoveryNS        *metrics.Histogram
 }
 
 func newCtrlMetrics(r *metrics.Registry) ctrlMetrics {
@@ -53,7 +64,13 @@ func newCtrlMetrics(r *metrics.Registry) ctrlMetrics {
 		idleEpochFills:    sc.Counter("idle_epoch_fills"),
 		macsComputed:      sc.Counter("macs_computed"),
 		tamperDetected:    sc.Counter("tamper_detected"),
+		retransmits:       sc.Counter("retransmits"),
+		nacksSent:         sc.Counter("nacks_sent"),
+		resyncs:           sc.Counter("resyncs"),
+		recovered:         sc.Counter("recovered"),
+		quarantines:       sc.Counter("quarantines"),
 		macSlackNS:        sc.Histogram("mac_slack_ns", macSlackBucketsNS),
+		recoveryNS:        sc.Histogram("recovery_latency_ns", recoveryLatencyBucketsNS),
 	}
 }
 
@@ -160,6 +177,31 @@ type Stats struct {
 	DecodeMismatches  uint64 // decoded (type,addr) != ground truth (desync)
 	RequestsLost      uint64 // dropped in flight, never reached memory
 	IdleEpochFills    uint64 // timing-oblivious: dummy pairs on idle epochs
+
+	// Fault-tolerant protocol activity (zero unless Recovery.Enabled).
+	Retransmits    uint64 // request legs re-sent after a failure
+	NACKsSent      uint64 // memory-side rejection notices issued
+	NACKsLost      uint64 // NACKs themselves lost/corrupted (timer fallback)
+	Resyncs        uint64 // successful counter-resync handshakes
+	ResyncFailures uint64 // handshake legs lost/corrupted (retried)
+	Recovered      uint64 // failed request legs completed by retransmission
+	Quarantines    uint64 // channels taken fail-stop after retry exhaustion
+
+	// Failure accounting. FailedLegs counts real (non-dummy) request legs
+	// that finally failed; QuarantinedRequests counts the subset refused
+	// because their channel was quarantined. With recovery on, every final
+	// failure is a quarantine refusal, so the two are equal and nothing is
+	// silently lost; without recovery the difference is the silently-failed
+	// count the protocol exists to eliminate.
+	FailedLegs          uint64
+	QuarantinedRequests uint64
+}
+
+// UnaccountedFailures returns the number of real request legs that failed
+// without an explicit quarantine event to account for them. The recovery
+// protocol's invariant is that this is zero.
+func (s Stats) UnaccountedFailures() uint64 {
+	return s.FailedLegs - s.QuarantinedRequests
 }
 
 type pendingWrite struct {
@@ -205,6 +247,9 @@ type chanState struct {
 	// lastEpoch is the most recent issue slot under timing-oblivious
 	// operation.
 	lastEpoch sim.Time
+	// quarantined marks the channel fail-stopped after retry exhaustion;
+	// all further requests on it are refused (graceful degradation).
+	quarantined bool
 }
 
 // Controller is the paired processor-side / memory-side ObfusMem logic over
@@ -224,6 +269,12 @@ type Controller struct {
 	// lastReadData holds the most recent value-carrying read result (the
 	// flows are synchronous, so this is just plumbing, not shared state).
 	lastReadData memctl.Block
+	// lastReplyLost distinguishes a reply dropped in flight (detected only
+	// by timer) from one rejected on arrival (detected at decode); same
+	// synchronous plumbing as lastReadData.
+	lastReplyLost bool
+	// events records quarantine decisions for the typed error surface.
+	events []QuarantineEvent
 	// memCapacity bounds random dummy addresses.
 	memCapacity uint64
 }
@@ -453,7 +504,12 @@ func (c *Controller) memDecode(cs *chanState, ch int, arrive sim.Time, delivered
 		c.stats.RequestsLost++
 		return 0, 0, arrive, false
 	}
-	ctr := cs.memSlot(c.cfg.Symmetric)
+	return c.memDecodeSlot(cs, ch, arrive, delivered, cs.memSlot(c.cfg.Symmetric))
+}
+
+// memDecodeSlot is memDecode at an explicit pad counter; retransmissions
+// use it after a resync handshake has agreed the slot out of band.
+func (c *Controller) memDecodeSlot(cs *chanState, ch int, arrive sim.Time, delivered *bus.Packet, ctr uint64) (t bus.ReqType, addr uint64, decodeDone sim.Time, ok bool) {
 	pad := cs.memReqEng.CTR().Pad(aes.IV{ID: uint64(ch), Counter: ctr})
 	decodeDone = pregenReady(cs.memReqEng, arrive, 1) + SerDesLatency
 	t, addr = openCmd(delivered.CmdCipher, pad)
@@ -524,6 +580,7 @@ func (c *Controller) replyData(cs *chanState, ch int, readyAt sim.Time, forDummy
 			readyAt, sendReady, trace.A("dummy", forDummy))
 	}
 	arrive, delivered := c.bus.Transfer(sendReady, pkt)
+	c.lastReplyLost = delivered == nil
 	if delivered == nil {
 		c.stats.RequestsLost++
 		return arrive, false

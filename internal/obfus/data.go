@@ -60,6 +60,10 @@ func (c *Controller) WriteData(at sim.Time, addr uint64, atRestReady sim.Time, d
 	ch := c.ChannelOf(addr)
 	cs := c.chans[ch]
 	c.stats.RealWrites++
+	if cs.quarantined {
+		c.legFailed(false, true)
+		return at
+	}
 	if c.cfg.TimingOblivious {
 		at = c.quantize(cs, ch, at)
 	}
@@ -74,6 +78,10 @@ func (c *Controller) ReadData(at sim.Time, addr uint64) (memctl.Block, sim.Time,
 	ch := c.ChannelOf(addr)
 	cs := c.chans[ch]
 	c.stats.RealReads++
+	if cs.quarantined {
+		c.legFailed(false, true)
+		return memctl.Block{}, at, false
+	}
 	if c.cfg.TimingOblivious {
 		at = c.quantize(cs, ch, at)
 	}

@@ -16,6 +16,12 @@ func (c *Controller) Read(at sim.Time, addr uint64) (done sim.Time, ok bool) {
 	cs := c.chans[ch]
 	c.stats.RealReads++
 	c.met.realReads.Inc()
+	if cs.quarantined {
+		// Fail-stop: the channel exhausted its retry budget earlier; the
+		// refusal is immediate and accounted, never silent.
+		c.legFailed(false, true)
+		return at, false
+	}
 	if c.cfg.TimingOblivious {
 		at = c.quantize(cs, ch, at)
 	}
@@ -108,13 +114,38 @@ func (c *Controller) issuePair(cs *chanState, ch int, padBase uint64, readH, wri
 
 	readOK = true
 	process := func(h half, arrive sim.Time, del *bus.Packet) {
+		if cs.quarantined {
+			// The pair's other half exhausted the retry budget while this
+			// packet was in flight; the memory side is fail-stopped.
+			c.legFailed(h.dummy, true)
+			if h.t == bus.Read {
+				readOK, readDone = false, arrive
+			} else {
+				writeDone = arrive
+			}
+			return
+		}
 		t, dAddr, decodeDone, accepted := c.memDecode(cs, ch, arrive, del)
-		if h.t == bus.Read {
-			if !accepted {
-				readOK = false
-				readDone = decodeDone
+		if !accepted {
+			if c.canRecover(del) {
+				done, ok := c.retryLeg(cs, ch, h, c.requestFailAt(cs, ch, arrive, del, decodeDone))
+				if h.t == bus.Read {
+					readDone, readOK = done, ok
+				} else {
+					writeDone = done
+				}
 				return
 			}
+			c.legFailed(h.dummy, false)
+			if h.t == bus.Read {
+				readOK = false
+				readDone = decodeDone
+			} else {
+				writeDone = decodeDone
+			}
+			return
+		}
+		if h.t == bus.Read {
 			dataReady := c.memAccessForRead(cs, ch, decodeDone, t, dAddr, h.dummy)
 			if c.cfg.TimingOblivious {
 				dataReady = padReply(decodeDone, dataReady)
@@ -125,16 +156,29 @@ func (c *Controller) issuePair(cs *chanState, ch int, padBase uint64, readH, wri
 				blk = c.transitSealReply(cs, ch, cs.respCtr, stored)
 			}
 			readDone, readOK = c.replyData(cs, ch, dataReady, h.dummy, dAddr, decodeDone, h.wantData, blk)
-		} else {
-			writeDone = decodeDone
-			if accepted {
-				if !h.dummy && h.payload != nil && del != nil {
-					// Memory-side transit decryption of the carried
-					// at-rest ciphertext, then store.
-					c.mem.StoreBlock(dAddr, c.transitOpenRequest(cs, ch, padBase, del.Data))
+			if !readOK {
+				if c.recoveryOn() {
+					failAt := readDone
+					if c.lastReplyLost {
+						// A vanished reply is only detectable by timer.
+						failAt = readDone + c.retryTimeout()
+						if c.tr != nil {
+							c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue,
+								"retry-timer", readDone, failAt)
+						}
+					}
+					readDone, readOK = c.retryLeg(cs, ch, h, failAt)
+				} else {
+					c.legFailed(h.dummy, false)
 				}
-				writeDone = c.memAccessForWrite(cs, ch, decodeDone, dAddr, h.dummy)
 			}
+		} else {
+			// Memory-side transit decryption of the carried at-rest
+			// ciphertext, then store.
+			if !h.dummy && h.payload != nil && del != nil {
+				c.mem.StoreBlock(dAddr, c.transitOpenRequest(cs, ch, padBase, del.Data))
+			}
+			writeDone = c.memAccessForWrite(cs, ch, decodeDone, dAddr, h.dummy)
 		}
 	}
 	process(first, arrive1, del1)
@@ -158,6 +202,10 @@ func (c *Controller) Write(at sim.Time, addr uint64, atRestReady sim.Time) sim.T
 	cs := c.chans[ch]
 	c.stats.RealWrites++
 	c.met.realWrites.Inc()
+	if cs.quarantined {
+		c.legFailed(false, true)
+		return at
+	}
 
 	if c.cfg.Symmetric {
 		if c.cfg.TimingOblivious {
@@ -183,6 +231,12 @@ func (c *Controller) Write(at sim.Time, addr uint64, atRestReady sim.Time) sim.T
 
 // issueWritePair sends (dummy read, real write) as a read-then-write pair.
 func (c *Controller) issueWritePair(cs *chanState, ch int, at sim.Time, w pendingWrite) sim.Time {
+	if cs.quarantined {
+		// Covers queued substitute-real writes draining after the channel
+		// fail-stopped: refused and accounted, not issued.
+		c.legFailed(false, true)
+		return at
+	}
 	if c.cfg.TimingOblivious {
 		at = c.quantize(cs, ch, at)
 	}
@@ -248,8 +302,16 @@ func (c *Controller) symmetricRequest(cs *chanState, ch int, at sim.Time, t bus.
 		sendReady = atRestReady
 	}
 	arrive, delivered := c.sendPacket(cs, ch, sendReady, t, addr, false, true, padBase, nil)
+	if arrive > cs.lastReqWire {
+		cs.lastReqWire = arrive
+	}
+	h := half{t: t, addr: addr, dummy: false, withData: true, ready: sendReady}
 	dt, dAddr, decodeDone, accepted := c.memDecode(cs, ch, arrive, delivered)
 	if !accepted {
+		if c.canRecover(delivered) {
+			return c.retryLeg(cs, ch, h, c.requestFailAt(cs, ch, arrive, delivered, decodeDone))
+		}
+		c.legFailed(false, false)
 		return decodeDone, false
 	}
 	var dataReady sim.Time
@@ -263,10 +325,22 @@ func (c *Controller) symmetricRequest(cs *chanState, ch int, at sim.Time, t bus.
 	if c.cfg.TimingOblivious {
 		dataReady = padReply(decodeDone, dataReady)
 	}
-	if arrive > cs.lastReqWire {
-		cs.lastReqWire = arrive
+	done, ok := c.reply(cs, ch, dataReady, replyIsDummy, dAddr, decodeDone)
+	if !ok {
+		if c.recoveryOn() {
+			failAt := done
+			if c.lastReplyLost {
+				failAt = done + c.retryTimeout()
+				if c.tr != nil {
+					c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue,
+						"retry-timer", done, failAt)
+				}
+			}
+			return c.retryLeg(cs, ch, h, failAt)
+		}
+		c.legFailed(false, false)
 	}
-	return c.reply(cs, ch, dataReady, replyIsDummy, dAddr, decodeDone)
+	return done, ok
 }
 
 // injectInterChannel applies the Section 3.4 policy: when a real request
@@ -281,6 +355,11 @@ func (c *Controller) injectInterChannel(at sim.Time, realCh int) {
 			continue
 		}
 		cs := c.chans[ch]
+		if cs.quarantined {
+			// A fail-stopped channel carries no traffic at all; observers
+			// see it dark, which is what fail-stop means.
+			continue
+		}
 		recentlyActive := cs.lastReqWire > 0 && at-cs.lastReqWire < OPTWindow
 		if c.cfg.Policy == PolicyOPT && (!c.bus.IdleAt(ch, at) || recentlyActive) {
 			// The channel carried traffic within the observation window;
@@ -295,6 +374,9 @@ func (c *Controller) injectInterChannel(at sim.Time, realCh int) {
 // injectPair sends a full dummy (read, write) pair on a channel.
 func (c *Controller) injectPair(at sim.Time, ch int) {
 	cs := c.chans[ch]
+	if cs.quarantined {
+		return
+	}
 	c.stats.InterChannelPairs++
 	c.met.interChannelPairs.Inc()
 	at = c.acquireFrontEnd(at)

@@ -11,6 +11,7 @@ import (
 
 	"obfusmem/internal/bus"
 	"obfusmem/internal/ctrmode"
+	"obfusmem/internal/fault"
 	"obfusmem/internal/keys"
 	"obfusmem/internal/memctl"
 	"obfusmem/internal/merkle"
@@ -86,6 +87,13 @@ type Config struct {
 	// into this recorder. Unlike Metrics, a Recorder is single-threaded —
 	// never share one across concurrently-driven systems. Nil disables.
 	Trace *trace.Recorder
+	// Fault, when non-nil, installs a transient-fault injector on the bus
+	// (bit flips, packet loss, stalls). Pair it with Obfus.Recovery in the
+	// ObfusMem mode; the unprotected/encrypt-only machines have no
+	// recovery protocol and will silently lose faulted requests, like the
+	// DDR bus they model would without CRC-retry. When Fault.Seed is zero
+	// the injector derives its stream from the machine Seed.
+	Fault *fault.Config
 }
 
 // DefaultConfig returns a single-channel machine in the given mode with the
@@ -106,6 +114,7 @@ type System struct {
 	enc   *ctrmode.Engine
 	obf   *obfus.Controller
 	oramP *oram.PerfModel
+	inj   *fault.Injector
 	rng   *xrand.Rand
 	seq   uint64
 	// dataTree is the functional Merkle tree backing the value-carrying
@@ -136,6 +145,14 @@ func New(cfg Config) *System {
 		bus: bus.New(bcfg),
 		mem: memctl.New(mcfg),
 		rng: xrand.New(cfg.Seed ^ 0x0bf05)}
+	if cfg.Fault != nil {
+		fcfg := *cfg.Fault
+		if fcfg.Seed == 0 {
+			fcfg.Seed = cfg.Seed
+		}
+		s.inj = fault.New(fcfg, cfg.Channels, cfg.Metrics)
+		s.bus.SetFaultInjector(s.inj)
+	}
 
 	var memKey [16]byte
 	s.rng.Bytes(memKey[:])
@@ -220,6 +237,19 @@ func (s *System) Obfus() *obfus.Controller { return s.obf }
 
 // ORAMModel exposes the ORAM performance model (nil in other modes).
 func (s *System) ORAMModel() *oram.PerfModel { return s.oramP }
+
+// FaultInjector exposes the transient-fault injector (nil when Config.Fault
+// is nil).
+func (s *System) FaultInjector() *fault.Injector { return s.inj }
+
+// Err surfaces the machine's fail-stop state: a *obfus.ChannelError when
+// the recovery protocol has quarantined channels, nil otherwise.
+func (s *System) Err() error {
+	if s.obf != nil {
+		return s.obf.Err()
+	}
+	return nil
+}
 
 // Config returns the machine configuration.
 func (s *System) Config() Config { return s.cfg }

@@ -10,7 +10,13 @@
 #   make race-full - the complete suite under the race detector
 #   make bench   - the evaluation benchmark harness (also refreshes the
 #                  BENCH_*.json perf-trajectory snapshot via TestEmitBenchTrajectory)
-#   make ci      - everything CI runs: vet + check + race
+#   make bench-smoke - fast perf gate: the zero-alloc guards plus short
+#                  benchmarks of the event engine and the obfus datapath;
+#                  fails if the alloc guards regress (runs in CI)
+#   make profile - full-suite run with pprof CPU + heap profiles written to
+#                  cpu.pprof / mem.pprof (see EXPERIMENTS.md "Profiling and
+#                  benchmarking" for how to read them)
+#   make ci      - everything CI runs: vet + check + race + bench-smoke
 #   make trace-demo - traced run of the milc profile: Chrome trace JSON
 #                  (load trace.json in Perfetto), attribution report, and
 #                  a 5us metrics time series (see EXPERIMENTS.md "Tracing
@@ -18,7 +24,7 @@
 
 GO ?= go
 
-.PHONY: check vet race race-full bench ci trace-demo
+.PHONY: check vet race race-full bench bench-smoke profile ci trace-demo
 
 check:
 	$(GO) build ./...
@@ -36,7 +42,17 @@ race-full:
 bench:
 	$(GO) test -run TestEmitBenchTrajectory -bench . -benchmem .
 
-ci: vet check race
+bench-smoke:
+	$(GO) test -run 'TestScheduleFireRecycleZeroAllocs|TestReadWriteLegZeroAllocs' \
+		-bench 'BenchmarkEngineChurn|BenchmarkBaselineChurn|BenchmarkReadWriteLeg' \
+		-benchtime 200ms -benchmem ./internal/sim ./internal/obfus
+
+profile:
+	$(GO) run ./cmd/obfsim -exp all -requests 5000 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "profiles written; inspect with: $(GO) tool pprof -top cpu.pprof"
+
+ci: vet check race bench-smoke
 
 trace-demo:
 	$(GO) run ./cmd/obfsim -exp none -requests 4000 \

@@ -19,6 +19,11 @@
 // metrics time-series CSV. Use -exp none to run only the traced run:
 //
 //	obfsim -exp none -trace-out trace.json -sample-every 5
+//
+// With -cpuprofile/-memprofile the run writes pprof profiles of the whole
+// invocation (see `make profile` and the "Profiling and benchmarking"
+// section of EXPERIMENTS.md), and -workers sizes the benchmark worker pool
+// (0 = one per CPU).
 package main
 
 import (
@@ -26,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"obfusmem/internal/cpu"
@@ -52,6 +59,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		requests   = fs.Int("requests", 8000, "memory requests per benchmark per configuration")
 		seed       = fs.Uint64("seed", 42, "global experiment seed")
 		serial     = fs.Bool("serial", false, "disable parallel benchmark execution")
+		workers    = fs.Int("workers", 0, "benchmark worker-pool size (0 = one per CPU); ignored with -serial")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile (post-GC) at exit to this file")
 		exposure   = fs.Float64("exposure", 0.55, "fraction of read latency exposed to execution time")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		useMetrics = fs.Bool("metrics", false, "record per-component observability metrics (small overhead)")
@@ -71,10 +81,43 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(stderr, "[cpu profile written to %s]\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "obfsim: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "obfsim: memprofile: %v\n", err)
+				return
+			}
+			fmt.Fprintf(stderr, "[heap profile written to %s]\n", *memProfile)
+		}()
+	}
+
 	opts := exp.DefaultOptions()
 	opts.Requests = *requests
 	opts.Seed = *seed
 	opts.Parallel = !*serial
+	opts.Workers = *workers
 	opts.CPU = cpu.Config{Exposure: *exposure, WriteBuffer: 16}
 
 	metricsOutSet := false

@@ -16,6 +16,9 @@ type ExperimentOptions struct {
 	Exposure float64
 	// Serial disables parallel benchmark execution.
 	Serial bool
+	// Workers bounds the benchmark worker pool when running in parallel;
+	// 0 means one worker per available CPU (runtime.GOMAXPROCS).
+	Workers int
 }
 
 func (o ExperimentOptions) internal() exp.Options {
@@ -30,6 +33,7 @@ func (o ExperimentOptions) internal() exp.Options {
 		io.CPU = cpu.Config{Exposure: o.Exposure, WriteBuffer: 16}
 	}
 	io.Parallel = !o.Serial
+	io.Workers = o.Workers
 	return io
 }
 

@@ -74,6 +74,7 @@ func init() {
 		sbox[i] = s
 		invSbox[s] = byte(i)
 	}
+	initEncTables()
 }
 
 // Cipher is an expanded AES-128 key schedule.
@@ -184,8 +185,11 @@ func invMixColumns(s *[16]byte) {
 	}
 }
 
-// Encrypt encrypts one 16-byte block. dst and src may overlap.
-func (c *Cipher) Encrypt(dst, src []byte) {
+// encryptSpec encrypts one block with the straight-line FIPS-197 round
+// functions (SubBytes/ShiftRows/MixColumns as separate passes). It is the
+// specification reference that the T-table fast path in Encrypt is
+// differentially tested against; the simulator always uses Encrypt.
+func (c *Cipher) encryptSpec(dst, src []byte) {
 	if len(src) < BlockSize || len(dst) < BlockSize {
 		panic("aes: short block")
 	}

@@ -1,0 +1,65 @@
+package aes
+
+import "encoding/binary"
+
+// T-table encryption (the classic Rijndael reference optimisation): each
+// table entry folds SubBytes and the MixColumns coefficients for one state
+// row into a single 32-bit word, so a full round is 16 table lookups and a
+// handful of XORs instead of per-byte GF(2^8) multiply loops. Profiling the
+// suite showed mul+mixColumns at ~94% of total CPU before this rewrite.
+//
+// The tables are generated in init from the same computed sbox as the
+// spec-path round functions, and the output is bit-identical to
+// encryptSpec (differentially tested, plus the stdlib cross-check).
+//
+// With the state held column-major (FIPS-197 §3.4) as four big-endian
+// words, row r of a word sits at shift 24-8r, and ShiftRows makes column c
+// draw row r from column c+r. Per row the MixColumns coefficient pattern
+// is [02 01 01 03] rotated right r bytes:
+var te0, te1, te2, te3 [256]uint32
+
+func initEncTables() {
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		s2 := mul(s, 2)
+		s3 := s2 ^ s
+		te0[i] = uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te1[i] = uint32(s3)<<24 | uint32(s2)<<16 | uint32(s)<<8 | uint32(s)
+		te2[i] = uint32(s)<<24 | uint32(s3)<<16 | uint32(s2)<<8 | uint32(s)
+		te3[i] = uint32(s)<<24 | uint32(s)<<16 | uint32(s3)<<8 | uint32(s2)
+	}
+}
+
+// Encrypt encrypts one 16-byte block. dst and src may overlap.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: short block")
+	}
+	rk := &c.enc
+	s0 := binary.BigEndian.Uint32(src[0:4]) ^ rk[0]
+	s1 := binary.BigEndian.Uint32(src[4:8]) ^ rk[1]
+	s2 := binary.BigEndian.Uint32(src[8:12]) ^ rk[2]
+	s3 := binary.BigEndian.Uint32(src[12:16]) ^ rk[3]
+	k := 4
+	for round := 1; round < numRounds; round++ {
+		t0 := te0[s0>>24] ^ te1[s1>>16&0xff] ^ te2[s2>>8&0xff] ^ te3[s3&0xff] ^ rk[k]
+		t1 := te0[s1>>24] ^ te1[s2>>16&0xff] ^ te2[s3>>8&0xff] ^ te3[s0&0xff] ^ rk[k+1]
+		t2 := te0[s2>>24] ^ te1[s3>>16&0xff] ^ te2[s0>>8&0xff] ^ te3[s1&0xff] ^ rk[k+2]
+		t3 := te0[s3>>24] ^ te1[s0>>16&0xff] ^ te2[s1>>8&0xff] ^ te3[s2&0xff] ^ rk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+	t0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xff])<<16 |
+		uint32(sbox[s2>>8&0xff])<<8 | uint32(sbox[s3&0xff])
+	t1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xff])<<16 |
+		uint32(sbox[s3>>8&0xff])<<8 | uint32(sbox[s0&0xff])
+	t2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xff])<<16 |
+		uint32(sbox[s0>>8&0xff])<<8 | uint32(sbox[s1&0xff])
+	t3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xff])<<16 |
+		uint32(sbox[s1>>8&0xff])<<8 | uint32(sbox[s2&0xff])
+	binary.BigEndian.PutUint32(dst[0:4], t0^rk[k])
+	binary.BigEndian.PutUint32(dst[4:8], t1^rk[k+1])
+	binary.BigEndian.PutUint32(dst[8:12], t2^rk[k+2])
+	binary.BigEndian.PutUint32(dst[12:16], t3^rk[k+3])
+}

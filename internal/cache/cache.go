@@ -199,8 +199,11 @@ func (c *Cache) Invalidate(addr uint64) (wasDirty bool) {
 	return false
 }
 
-// Insert allocates a line in the given state, returning any evicted victim.
-func (c *Cache) Insert(addr uint64, s State) (ev *Eviction) {
+// Insert allocates a line in the given state. When a valid victim had to
+// be displaced, evicted is true and ev describes it; Insert runs on every
+// cache fill in the simulated hierarchy, so the victim is returned by value
+// rather than heap-allocated.
+func (c *Cache) Insert(addr uint64, s State) (ev Eviction, evicted bool) {
 	if s == Invalid {
 		panic("cache: inserting an Invalid line")
 	}
@@ -212,7 +215,7 @@ func (c *Cache) Insert(addr uint64, s State) (ev *Eviction) {
 			l.state = s
 			c.clock++
 			l.lru = c.clock
-			return nil
+			return Eviction{}, false
 		}
 	}
 	// Find an invalid way or the LRU victim.
@@ -233,13 +236,14 @@ func (c *Cache) Insert(addr uint64, s State) (ev *Eviction) {
 		if dirty {
 			c.stats.Writebacks++
 		}
-		ev = &Eviction{Addr: c.rebuild(set, victim.tag), Dirty: dirty}
+		ev = Eviction{Addr: c.rebuild(set, victim.tag), Dirty: dirty}
+		evicted = true
 	}
 	victim.tag = tag
 	victim.state = s
 	c.clock++
 	victim.lru = c.clock
-	return ev
+	return ev, evicted
 }
 
 func (c *Cache) rebuild(set int, tag uint64) uint64 {

@@ -16,7 +16,7 @@ func TestLookupInsert(t *testing.T) {
 	if st := c.Lookup(0x100, true); st != Invalid {
 		t.Fatalf("cold lookup = %v", st)
 	}
-	if ev := c.Insert(0x100, Exclusive); ev != nil {
+	if ev, ok := c.Insert(0x100, Exclusive); ok {
 		t.Fatalf("insert into empty set evicted %+v", ev)
 	}
 	if st := c.Lookup(0x100, true); st != Exclusive {
@@ -38,8 +38,8 @@ func TestLRUEviction(t *testing.T) {
 	c.Insert(a, Exclusive)
 	c.Insert(b, Exclusive)
 	c.Lookup(a, true) // make b the LRU
-	ev := c.Insert(d, Exclusive)
-	if ev == nil || ev.Addr != b {
+	ev, ok := c.Insert(d, Exclusive)
+	if !ok || ev.Addr != b {
 		t.Fatalf("evicted %+v, want addr %#x", ev, b)
 	}
 	if ev.Dirty {
@@ -54,8 +54,8 @@ func TestDirtyEviction(t *testing.T) {
 	c := small()
 	c.Insert(0x000, Modified)
 	c.Insert(0x200, Exclusive)
-	ev := c.Insert(0x400, Exclusive)
-	if ev == nil || !ev.Dirty || ev.Addr != 0x000 {
+	ev, ok := c.Insert(0x400, Exclusive)
+	if !ok || !ev.Dirty || ev.Addr != 0x000 {
 		t.Fatalf("ev = %+v, want dirty 0x0", ev)
 	}
 	if c.Stats().Writebacks != 1 {
@@ -117,7 +117,7 @@ func TestFlush(t *testing.T) {
 func TestInsertExistingTransitions(t *testing.T) {
 	c := small()
 	c.Insert(0x40, Shared)
-	if ev := c.Insert(0x40, Modified); ev != nil {
+	if _, ok := c.Insert(0x40, Modified); ok {
 		t.Fatal("re-insert evicted")
 	}
 	if c.Probe(0x40) != Modified {
@@ -146,7 +146,7 @@ func TestCapacityProperty(t *testing.T) {
 		for i := 0; i < 300; i++ {
 			addr := uint64(r.Intn(64)) * 64
 			st := State(1 + r.Intn(3))
-			if ev := c.Insert(addr, st); ev != nil {
+			if ev, ok := c.Insert(addr, st); ok {
 				delete(live, ev.Addr)
 			}
 			live[addr] = true

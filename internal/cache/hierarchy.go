@@ -121,7 +121,7 @@ func (h *Hierarchy) snoop(requester int, addr uint64, write bool) (found, foundD
 // an L2 dirty victim is written into the L3; an L3 dirty victim becomes a
 // memory writeback.
 func (h *Hierarchy) insertPrivate(core int, addr uint64, s State, out *[]MemAccess) {
-	if ev := h.l1[core].Insert(addr, s); ev != nil && ev.Dirty {
+	if ev, ok := h.l1[core].Insert(addr, s); ok && ev.Dirty {
 		// L1 dirty victim folds into L2.
 		h.l2[core].SetState(ev.Addr, Modified)
 		if h.l2[core].Probe(ev.Addr) == Invalid {
@@ -129,7 +129,7 @@ func (h *Hierarchy) insertPrivate(core int, addr uint64, s State, out *[]MemAcce
 			h.insertL3(ev.Addr, Modified, out)
 		}
 	}
-	if ev := h.l2[core].Insert(addr, s); ev != nil {
+	if ev, ok := h.l2[core].Insert(addr, s); ok {
 		// Keep L1 an inclusive subset of L2.
 		if h.l1[core].Invalidate(ev.Addr) || ev.Dirty {
 			h.insertL3(ev.Addr, Modified, out)
@@ -146,7 +146,7 @@ func (h *Hierarchy) insertL3(addr uint64, s State, out *[]MemAccess) {
 		}
 		return
 	}
-	if ev := h.l3.Insert(addr, s); ev != nil && ev.Dirty {
+	if ev, ok := h.l3.Insert(addr, s); ok && ev.Dirty {
 		*out = append(*out, MemAccess{Addr: ev.Addr, Write: true})
 	}
 }

@@ -152,7 +152,7 @@ func (e *Engine) counterReady(at sim.Time, addr uint64) sim.Time {
 		// fetches consume memory bandwidth.
 		e.integrity.VerifyCounter(at, cAddr)
 	}
-	if ev := e.ctrCache.Insert(cAddr, cache.Modified); ev != nil && ev.Dirty {
+	if ev, ok := e.ctrCache.Insert(cAddr, cache.Modified); ok && ev.Dirty {
 		e.stats.CtrWritebacks++
 		if e.fetch != nil {
 			e.fetch(ready, ev.Addr, true) // posted

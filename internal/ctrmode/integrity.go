@@ -74,7 +74,7 @@ func (w *IntegrityWalker) VerifyCounter(at sim.Time, ctrAddr uint64) sim.Time {
 		if w.fetch != nil {
 			t = w.fetch(t, a, false)
 		}
-		if ev := w.nodeCache.Insert(a, cache.Exclusive); ev != nil && ev.Dirty {
+		if ev, ok := w.nodeCache.Insert(a, cache.Exclusive); ok && ev.Dirty {
 			// Updated nodes written back (tree updates on writebacks).
 			if w.fetch != nil {
 				w.fetch(t, ev.Addr, true)

@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"runtime"
 	"sync"
 
 	"obfusmem/internal/cpu"
@@ -23,13 +24,29 @@ type Options struct {
 	Requests int
 	Seed     uint64
 	CPU      cpu.Config
-	// Parallel fans benchmark runs out over goroutines (deterministic
-	// regardless: every run is independently seeded).
+	// Parallel fans benchmark runs out over a worker pool (deterministic
+	// regardless: every run is independently seeded and results land in
+	// per-job slots).
 	Parallel bool
+	// Workers bounds the pool when Parallel is set; 0 means
+	// runtime.GOMAXPROCS(0), scaling with the machine instead of the old
+	// hardcoded 8-slot semaphore.
+	Workers int
 	// Metrics, when non-nil, is shared by every system built for the
 	// suite: all runs aggregate into one registry (instruments are
 	// atomic, so this is safe under Parallel).
 	Metrics *metrics.Registry
+}
+
+// workerCount resolves the effective pool size.
+func (o Options) workerCount() int {
+	if !o.Parallel {
+		return 1
+	}
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -74,52 +91,61 @@ func runSeed(global uint64, p workload.Profile) uint64 {
 	return global ^ xrand.Mix64(h) ^ xrand.Mix64(uint64(p.FootprintMB))
 }
 
-// runSuite executes every benchmark under every mode.
+// runSuite executes every benchmark under every mode on a worker pool of
+// opts.workerCount() goroutines. Each job writes its result to a dedicated
+// slot (no shared-map mutex on the run path); the result maps are
+// pre-sized and assembled after the pool drains, so the output is
+// identical for any worker count.
 func runSuite(opts Options, specs []ModeSpec) suiteResult {
 	profiles := workload.SPEC2006()
-	out := make(suiteResult, len(specs))
-	for _, s := range specs {
-		out[s.Name] = make(map[string]cpu.Result, len(profiles))
-	}
 	type job struct {
 		spec ModeSpec
 		prof workload.Profile
 	}
-	var jobs []job
+	jobs := make([]job, 0, len(specs)*len(profiles))
 	for _, s := range specs {
 		for _, p := range profiles {
 			jobs = append(jobs, job{s, p})
 		}
 	}
-	var mu sync.Mutex
-	run := func(j job) {
+	results := make([]cpu.Result, len(jobs))
+	run := func(i int) {
+		j := jobs[i]
 		cfg := j.spec.Cfg
 		cfg.Seed = runSeed(opts.Seed, j.prof)
 		cfg.Metrics = opts.Metrics
 		sys := system.New(cfg)
-		res := cpu.Run(j.prof, opts.Requests, sys, opts.CPU, opts.Seed+7)
-		mu.Lock()
-		out[j.spec.Name][j.prof.Name] = res
-		mu.Unlock()
+		results[i] = cpu.Run(j.prof, opts.Requests, sys, opts.CPU, opts.Seed+7)
 	}
-	if !opts.Parallel {
-		for _, j := range jobs {
-			run(j)
+	if workers := opts.workerCount(); workers <= 1 {
+		for i := range jobs {
+			run(i)
 		}
-		return out
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					run(i)
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			run(j)
-		}(j)
+	out := make(suiteResult, len(specs))
+	for _, s := range specs {
+		out[s.Name] = make(map[string]cpu.Result, len(profiles))
 	}
-	wg.Wait()
+	for i, j := range jobs {
+		out[j.spec.Name][j.prof.Name] = results[i]
+	}
 	return out
 }
 

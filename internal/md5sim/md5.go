@@ -38,61 +38,75 @@ func init() {
 	}
 }
 
-// Digest computes the MD5 hash of msg.
-func Digest(msg []byte) [Size]byte {
-	a0, b0, c0, d0 := uint32(0x67452301), uint32(0xefcdab89), uint32(0x98badcfe), uint32(0x10325476)
+// state is the running MD5 chaining value.
+type state struct{ a, b, c, d uint32 }
 
-	// Padding: 0x80, zeros, then the 64-bit little-endian bit length.
-	bitLen := uint64(len(msg)) * 8
-	padded := make([]byte, 0, len(msg)+BlockSize+8)
-	padded = append(padded, msg...)
-	padded = append(padded, 0x80)
-	for len(padded)%BlockSize != 56 {
-		padded = append(padded, 0)
-	}
-	var lenb [8]byte
-	binary.LittleEndian.PutUint64(lenb[:], bitLen)
-	padded = append(padded, lenb[:]...)
-
+// block folds one 64-byte block into the chaining value (RFC 1321 §3.4).
+func (st *state) block(p []byte) {
 	var m [16]uint32
-	for blk := 0; blk < len(padded); blk += BlockSize {
-		for i := 0; i < 16; i++ {
-			m[i] = binary.LittleEndian.Uint32(padded[blk+4*i:])
+	for i := 0; i < 16; i++ {
+		m[i] = binary.LittleEndian.Uint32(p[4*i:])
+	}
+	a, b, c, d := st.a, st.b, st.c, st.d
+	for i := 0; i < 64; i++ {
+		var f uint32
+		var g int
+		switch {
+		case i < 16:
+			f = (b & c) | (^b & d)
+			g = i
+		case i < 32:
+			f = (d & b) | (^d & c)
+			g = (5*i + 1) % 16
+		case i < 48:
+			f = b ^ c ^ d
+			g = (3*i + 5) % 16
+		default:
+			f = c ^ (b | ^d)
+			g = (7 * i) % 16
 		}
-		a, b, c, d := a0, b0, c0, d0
-		for i := 0; i < 64; i++ {
-			var f uint32
-			var g int
-			switch {
-			case i < 16:
-				f = (b & c) | (^b & d)
-				g = i
-			case i < 32:
-				f = (d & b) | (^d & c)
-				g = (5*i + 1) % 16
-			case i < 48:
-				f = b ^ c ^ d
-				g = (3*i + 5) % 16
-			default:
-				f = c ^ (b | ^d)
-				g = (7 * i) % 16
-			}
-			f = f + a + sines[i] + m[g]
-			a = d
-			d = c
-			c = b
-			b = b + (f<<shifts[i] | f>>(32-shifts[i]))
-		}
-		a0 += a
-		b0 += b
-		c0 += c
-		d0 += d
+		f = f + a + sines[i] + m[g]
+		a = d
+		d = c
+		c = b
+		b = b + (f<<shifts[i] | f>>(32-shifts[i]))
+	}
+	st.a += a
+	st.b += b
+	st.c += c
+	st.d += d
+}
+
+// Digest computes the MD5 hash of msg. Full blocks are folded straight from
+// msg and the Merkle-Damgård padding (0x80, zeros, 64-bit little-endian bit
+// length) is assembled in a fixed stack buffer, so Digest performs no heap
+// allocation — it sits on the per-packet MAC hot path of the simulator.
+func Digest(msg []byte) [Size]byte {
+	st := state{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476}
+	bitLen := uint64(len(msg)) * 8
+	for len(msg) >= BlockSize {
+		st.block(msg[:BlockSize])
+		msg = msg[BlockSize:]
+	}
+	// The tail plus padding spans one block, or two when the remaining
+	// bytes leave fewer than 8 bytes for the length field.
+	var tail [2 * BlockSize]byte
+	n := copy(tail[:], msg)
+	tail[n] = 0x80
+	end := BlockSize
+	if n+1 > BlockSize-8 {
+		end = 2 * BlockSize
+	}
+	binary.LittleEndian.PutUint64(tail[end-8:], bitLen)
+	st.block(tail[:BlockSize])
+	if end == 2*BlockSize {
+		st.block(tail[BlockSize:])
 	}
 
 	var out [Size]byte
-	binary.LittleEndian.PutUint32(out[0:], a0)
-	binary.LittleEndian.PutUint32(out[4:], b0)
-	binary.LittleEndian.PutUint32(out[8:], c0)
-	binary.LittleEndian.PutUint32(out[12:], d0)
+	binary.LittleEndian.PutUint32(out[0:], st.a)
+	binary.LittleEndian.PutUint32(out[4:], st.b)
+	binary.LittleEndian.PutUint32(out[8:], st.c)
+	binary.LittleEndian.PutUint32(out[12:], st.d)
 	return out
 }

@@ -239,7 +239,18 @@ type chanState struct {
 	procRespCtr uint64
 
 	dummyAddr uint64 // the reserved fixed dummy block on this module
+	// writes is the substitute-real pending-write queue, kept as a
+	// compacting ring (writeHead indexes the oldest entry) so steady-state
+	// push/pop traffic reuses the backing array instead of reallocating.
 	writes    []pendingWrite
+	writeHead int
+	// sealBuf and replyBuf are the channel's transit-encryption scratch
+	// buffers for value-carrying payloads. At most one sealed request
+	// payload and one sealed reply are in flight per pair (a pair has a
+	// single data-bearing half, and the memory side copies the bytes out
+	// before the next pair issues), so one buffer per direction suffices.
+	sealBuf  [bus.DataBytes]byte
+	replyBuf [bus.DataBytes]byte
 	// lastReqWire is when the channel's request link last carried a
 	// packet; the OPT policy treats a channel as covered while that
 	// activity is within the observation window.
@@ -277,6 +288,61 @@ type Controller struct {
 	events []QuarantineEvent
 	// memCapacity bounds random dummy addresses.
 	memCapacity uint64
+
+	// pktArena recycles request/reply/control packet headers. The flows
+	// are synchronous and every interception point on the bus (observers,
+	// tamperers, fault injectors) copies rather than retains, so a packet
+	// is dead once the entry-point call that built it returns; pktUsed
+	// rewinds at each public entry point (Read, Write, ReadData,
+	// WriteData, Drain) and the arena stabilises at the high-water mark.
+	pktArena []*bus.Packet
+	pktUsed  int
+	// zeroData is the shared all-zero payload for timing-only transfers
+	// (contents elided). Nothing on the datapath mutates packet data in
+	// place — fault injection and tampering corrupt copies — so every
+	// such packet can alias this one buffer.
+	zeroData [bus.DataBytes]byte
+}
+
+// resetArena rewinds the packet arena; called on entry to each public flow.
+func (c *Controller) resetArena() { c.pktUsed = 0 }
+
+// newPacket returns a zeroed packet from the arena, growing it only until
+// the per-call high-water mark is reached.
+func (c *Controller) newPacket() *bus.Packet {
+	if c.pktUsed == len(c.pktArena) {
+		c.pktArena = append(c.pktArena, new(bus.Packet))
+	}
+	p := c.pktArena[c.pktUsed]
+	c.pktUsed++
+	*p = bus.Packet{}
+	return p
+}
+
+// queuedWrites returns the substitute-real queue depth.
+func (cs *chanState) queuedWrites() int { return len(cs.writes) - cs.writeHead }
+
+// pushWrite appends to the pending-write ring, compacting consumed head
+// space in place before the backing array would have to grow.
+func (cs *chanState) pushWrite(w pendingWrite) {
+	if cs.writeHead > 0 && len(cs.writes) == cap(cs.writes) {
+		n := copy(cs.writes, cs.writes[cs.writeHead:])
+		cs.writes = cs.writes[:n]
+		cs.writeHead = 0
+	}
+	cs.writes = append(cs.writes, w)
+}
+
+// popWrite removes and returns the oldest pending write.
+func (cs *chanState) popWrite() pendingWrite {
+	w := cs.writes[cs.writeHead]
+	cs.writes[cs.writeHead] = pendingWrite{}
+	cs.writeHead++
+	if cs.writeHead == len(cs.writes) {
+		cs.writes = cs.writes[:0]
+		cs.writeHead = 0
+	}
+	return w
 }
 
 // New wires a controller. The session key table must hold one key per bus
@@ -442,23 +508,22 @@ func (c *Controller) sendPacket(cs *chanState, ch int, readyAt sim.Time,
 
 	plain := encodeCmd(t, addr)
 	pad := cs.procReqEng.CTR().Pad(aes.IV{ID: uint64(ch), Counter: padCtr})
-	pkt := &bus.Packet{
-		Channel:   ch,
-		Dir:       bus.ProcToMem,
-		CmdCipher: sealCmd(plain, pad),
-		HasCmd:    true,
-		Type:      t,
-		Addr:      addr,
-		IsDummy:   isDummy,
-		Counter:   padCtr,
-		Seq:       c.seq,
-	}
+	pkt := c.newPacket()
+	pkt.Channel = ch
+	pkt.Dir = bus.ProcToMem
+	pkt.CmdCipher = sealCmd(plain, pad)
+	pkt.HasCmd = true
+	pkt.Type = t
+	pkt.Addr = addr
+	pkt.IsDummy = isDummy
+	pkt.Counter = padCtr
+	pkt.Seq = c.seq
 	c.seq++
 	if withData {
 		if payload != nil {
 			pkt.Data = payload
 		} else {
-			pkt.Data = make([]byte, bus.DataBytes) // timing-only path: contents elided
+			pkt.Data = c.zeroData[:] // timing-only path: contents elided
 		}
 	}
 	if c.cfg.MAC != MACNone {
@@ -545,14 +610,13 @@ func (c *Controller) reply(cs *chanState, ch int, readyAt sim.Time, forDummy boo
 // replyData is reply with an optional value-carrying payload (the stored
 // block, already transit-encrypted by the memory side).
 func (c *Controller) replyData(cs *chanState, ch int, readyAt sim.Time, forDummy bool, reqAddr uint64, decodeAt sim.Time, wantData bool, wire []byte) (sim.Time, bool) {
-	pkt := &bus.Packet{
-		Channel: ch,
-		Dir:     bus.MemToProc,
-		Data:    make([]byte, bus.DataBytes),
-		Type:    bus.Read,
-		Addr:    reqAddr,
-		IsDummy: forDummy,
-	}
+	pkt := c.newPacket()
+	pkt.Channel = ch
+	pkt.Dir = bus.MemToProc
+	pkt.Data = c.zeroData[:]
+	pkt.Type = bus.Read
+	pkt.Addr = reqAddr
+	pkt.IsDummy = forDummy
 	if wire != nil {
 		pkt.Data = wire
 	}

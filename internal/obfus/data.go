@@ -17,38 +17,37 @@ import (
 // detection) are testable end to end.
 
 // transitSealRequest encrypts an at-rest ciphertext block for the
-// processor-to-memory hop using the pair's data pads (padBase+2..+5).
+// processor-to-memory hop using the pair's data pads (padBase+2..+5). The
+// returned slice aliases the channel's seal scratch buffer; it is consumed
+// (copied into the memory module) before the next pair seals.
 func (c *Controller) transitSealRequest(cs *chanState, ch int, padBase uint64, data *memctl.Block) []byte {
-	buf := make([]byte, 64)
+	buf := cs.sealBuf[:]
 	copy(buf, data[:])
 	cs.procReqEng.CTR().EncryptBlock64(buf, aes.IV{ID: uint64(ch), Counter: padBase + 2})
 	return buf
 }
 
-// transitOpenRequest is the memory-side inverse.
-func (c *Controller) transitOpenRequest(cs *chanState, ch int, padBase uint64, wire []byte) memctl.Block {
-	buf := make([]byte, 64)
-	copy(buf, wire)
-	cs.memReqEng.CTR().EncryptBlock64(buf, aes.IV{ID: uint64(ch), Counter: padBase + 2})
-	var out memctl.Block
-	copy(out[:], buf)
+// transitOpenRequest is the memory-side inverse. wire may alias the seal
+// scratch buffer; decryption happens in the returned value, never in place.
+func (c *Controller) transitOpenRequest(cs *chanState, ch int, padBase uint64, wire []byte) (out memctl.Block) {
+	copy(out[:], wire)
+	cs.memReqEng.CTR().EncryptBlock64(out[:], aes.IV{ID: uint64(ch), Counter: padBase + 2})
 	return out
 }
 
-// transitSealReply / transitOpenReply use the reply-direction counters.
+// transitSealReply / transitOpenReply use the reply-direction counters; the
+// sealed reply aliases the channel's reply scratch buffer with the same
+// one-in-flight discipline as transitSealRequest.
 func (c *Controller) transitSealReply(cs *chanState, ch int, respCtr uint64, data memctl.Block) []byte {
-	buf := make([]byte, 64)
+	buf := cs.replyBuf[:]
 	copy(buf, data[:])
 	cs.memRespEng.CTR().EncryptBlock64(buf, aes.IV{ID: uint64(ch) | 1<<32, Counter: respCtr})
 	return buf
 }
 
-func (c *Controller) transitOpenReply(cs *chanState, ch int, respCtr uint64, wire []byte) memctl.Block {
-	buf := make([]byte, 64)
-	copy(buf, wire)
-	cs.procRespEng.CTR().EncryptBlock64(buf, aes.IV{ID: uint64(ch) | 1<<32, Counter: respCtr})
-	var out memctl.Block
-	copy(out[:], buf)
+func (c *Controller) transitOpenReply(cs *chanState, ch int, respCtr uint64, wire []byte) (out memctl.Block) {
+	copy(out[:], wire)
+	cs.procRespEng.CTR().EncryptBlock64(out[:], aes.IV{ID: uint64(ch) | 1<<32, Counter: respCtr})
 	return out
 }
 
@@ -57,6 +56,7 @@ func (c *Controller) transitOpenReply(cs *chanState, ch int, respCtr uint64, wir
 // stored in the memory module. Bypasses the substitute-real queue so the
 // store is immediate and deterministic for callers.
 func (c *Controller) WriteData(at sim.Time, addr uint64, atRestReady sim.Time, data memctl.Block) sim.Time {
+	c.resetArena()
 	ch := c.ChannelOf(addr)
 	cs := c.chans[ch]
 	c.stats.RealWrites++
@@ -75,6 +75,7 @@ func (c *Controller) WriteData(at sim.Time, addr uint64, atRestReady sim.Time, d
 // ReadData performs a value-carrying demand read, returning the at-rest
 // ciphertext block stored at addr.
 func (c *Controller) ReadData(at sim.Time, addr uint64) (memctl.Block, sim.Time, bool) {
+	c.resetArena()
 	ch := c.ChannelOf(addr)
 	cs := c.chans[ch]
 	c.stats.RealReads++

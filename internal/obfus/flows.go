@@ -12,6 +12,7 @@ import (
 // processor and whether the request completed authentically (false only
 // under active tampering or packet loss).
 func (c *Controller) Read(at sim.Time, addr uint64) (done sim.Time, ok bool) {
+	c.resetArena()
 	ch := c.ChannelOf(addr)
 	cs := c.chans[ch]
 	c.stats.RealReads++
@@ -39,9 +40,9 @@ func (c *Controller) Read(at sim.Time, addr uint64) (done sim.Time, ok bool) {
 	// Pair the read with a write half: a pending real write if the
 	// substitute-real optimisation has one, else a dummy write.
 	var writeHalf *pendingWrite
-	if c.cfg.SubstituteReal && len(cs.writes) > 0 {
-		w := cs.writes[0]
-		cs.writes = cs.writes[1:]
+	var w pendingWrite
+	if c.cfg.SubstituteReal && cs.queuedWrites() > 0 {
+		w = cs.popWrite()
 		writeHalf = &w
 		c.stats.SubstitutedPairs++
 		c.met.substitutedPairs.Inc()
@@ -112,77 +113,13 @@ func (c *Controller) issuePair(cs *chanState, ch int, padBase uint64, readH, wri
 	arrive1, del1 := c.sendPacket(cs, ch, first.ready, first.t, first.addr, first.dummy, first.withData, padBase, c.sealPayload(cs, ch, padBase, first.payload))
 	arrive2, del2 := c.sendPacket(cs, ch, second.ready, second.t, second.addr, second.dummy, second.withData, padBase+1, c.sealPayload(cs, ch, padBase, second.payload))
 
-	readOK = true
-	process := func(h half, arrive sim.Time, del *bus.Packet) {
-		if cs.quarantined {
-			// The pair's other half exhausted the retry budget while this
-			// packet was in flight; the memory side is fail-stopped.
-			c.legFailed(h.dummy, true)
-			if h.t == bus.Read {
-				readOK, readDone = false, arrive
-			} else {
-				writeDone = arrive
-			}
-			return
-		}
-		t, dAddr, decodeDone, accepted := c.memDecode(cs, ch, arrive, del)
-		if !accepted {
-			if c.canRecover(del) {
-				done, ok := c.retryLeg(cs, ch, h, c.requestFailAt(cs, ch, arrive, del, decodeDone))
-				if h.t == bus.Read {
-					readDone, readOK = done, ok
-				} else {
-					writeDone = done
-				}
-				return
-			}
-			c.legFailed(h.dummy, false)
-			if h.t == bus.Read {
-				readOK = false
-				readDone = decodeDone
-			} else {
-				writeDone = decodeDone
-			}
-			return
-		}
-		if h.t == bus.Read {
-			dataReady := c.memAccessForRead(cs, ch, decodeDone, t, dAddr, h.dummy)
-			if c.cfg.TimingOblivious {
-				dataReady = padReply(decodeDone, dataReady)
-			}
-			var blk []byte
-			if h.wantData && !h.dummy {
-				stored := c.mem.LoadBlock(dAddr)
-				blk = c.transitSealReply(cs, ch, cs.respCtr, stored)
-			}
-			readDone, readOK = c.replyData(cs, ch, dataReady, h.dummy, dAddr, decodeDone, h.wantData, blk)
-			if !readOK {
-				if c.recoveryOn() {
-					failAt := readDone
-					if c.lastReplyLost {
-						// A vanished reply is only detectable by timer.
-						failAt = readDone + c.retryTimeout()
-						if c.tr != nil {
-							c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue,
-								"retry-timer", readDone, failAt)
-						}
-					}
-					readDone, readOK = c.retryLeg(cs, ch, h, failAt)
-				} else {
-					c.legFailed(h.dummy, false)
-				}
-			}
-		} else {
-			// Memory-side transit decryption of the carried at-rest
-			// ciphertext, then store.
-			if !h.dummy && h.payload != nil && del != nil {
-				c.mem.StoreBlock(dAddr, c.transitOpenRequest(cs, ch, padBase, del.Data))
-			}
-			writeDone = c.memAccessForWrite(cs, ch, decodeDone, dAddr, h.dummy)
-		}
+	d1, ok1 := c.processHalf(cs, ch, padBase, first, arrive1, del1)
+	d2, ok2 := c.processHalf(cs, ch, padBase, second, arrive2, del2)
+	if first.t == bus.Read {
+		readDone, readOK, writeDone = d1, ok1, d2
+	} else {
+		readDone, readOK, writeDone = d2, ok2, d1
 	}
-	process(first, arrive1, del1)
-	process(second, arrive2, del2)
 	last := arrive1
 	if arrive2 > last {
 		last = arrive2
@@ -193,11 +130,69 @@ func (c *Controller) issuePair(cs *chanState, ch int, padBase uint64, readH, wri
 	return readDone, readOK, writeDone
 }
 
+// processHalf runs the memory side for one delivered half of a pair:
+// decode, PCM access, and (for reads) the reply leg, with recovery when
+// configured. It returns the leg's completion time; ok is meaningful for
+// read halves only (writes are posted). This used to be a closure inside
+// issuePair capturing the pair's result variables; as a method the pair
+// issue path stays allocation-free.
+func (c *Controller) processHalf(cs *chanState, ch int, padBase uint64, h half, arrive sim.Time, del *bus.Packet) (done sim.Time, ok bool) {
+	if cs.quarantined {
+		// The pair's other half exhausted the retry budget while this
+		// packet was in flight; the memory side is fail-stopped.
+		c.legFailed(h.dummy, true)
+		return arrive, false
+	}
+	t, dAddr, decodeDone, accepted := c.memDecode(cs, ch, arrive, del)
+	if !accepted {
+		if c.canRecover(del) {
+			return c.retryLeg(cs, ch, h, c.requestFailAt(cs, ch, arrive, del, decodeDone))
+		}
+		c.legFailed(h.dummy, false)
+		return decodeDone, false
+	}
+	if h.t == bus.Read {
+		dataReady := c.memAccessForRead(cs, ch, decodeDone, t, dAddr, h.dummy)
+		if c.cfg.TimingOblivious {
+			dataReady = padReply(decodeDone, dataReady)
+		}
+		var blk []byte
+		if h.wantData && !h.dummy {
+			stored := c.mem.LoadBlock(dAddr)
+			blk = c.transitSealReply(cs, ch, cs.respCtr, stored)
+		}
+		done, ok = c.replyData(cs, ch, dataReady, h.dummy, dAddr, decodeDone, h.wantData, blk)
+		if !ok {
+			if c.recoveryOn() {
+				failAt := done
+				if c.lastReplyLost {
+					// A vanished reply is only detectable by timer.
+					failAt = done + c.retryTimeout()
+					if c.tr != nil {
+						c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue,
+							"retry-timer", done, failAt)
+					}
+				}
+				return c.retryLeg(cs, ch, h, failAt)
+			}
+			c.legFailed(h.dummy, false)
+		}
+		return done, ok
+	}
+	// Memory-side transit decryption of the carried at-rest ciphertext,
+	// then store.
+	if !h.dummy && h.payload != nil && del != nil {
+		c.mem.StoreBlock(dAddr, c.transitOpenRequest(cs, ch, padBase, del.Data))
+	}
+	return c.memAccessForWrite(cs, ch, decodeDone, dAddr, h.dummy), true
+}
+
 // Write services one LLC writeback. atRestReady is when the at-rest
 // ciphertext (from the memory-encryption engine) is available. Writes are
 // posted; the returned time is when the write half reached the memory (for
 // occupancy accounting), not a stall.
 func (c *Controller) Write(at sim.Time, addr uint64, atRestReady sim.Time) sim.Time {
+	c.resetArena()
 	ch := c.ChannelOf(addr)
 	cs := c.chans[ch]
 	c.stats.RealWrites++
@@ -217,11 +212,9 @@ func (c *Controller) Write(at sim.Time, addr uint64, atRestReady sim.Time) sim.T
 	}
 
 	if c.cfg.SubstituteReal {
-		cs.writes = append(cs.writes, pendingWrite{at: at, addr: addr, atRestReady: atRestReady})
-		if len(cs.writes) > writeQueueCap {
-			w := cs.writes[0]
-			cs.writes = cs.writes[1:]
-			return c.issueWritePair(cs, ch, at, w)
+		cs.pushWrite(pendingWrite{at: at, addr: addr, atRestReady: atRestReady})
+		if cs.queuedWrites() > writeQueueCap {
+			return c.issueWritePair(cs, ch, at, cs.popWrite())
 		}
 		return at
 	}
@@ -393,11 +386,11 @@ func (c *Controller) injectPair(at sim.Time, ch int) {
 
 // Drain flushes pending substitute-real writes (end of run, or a fence).
 func (c *Controller) Drain(at sim.Time) {
+	c.resetArena()
 	for ch, cs := range c.chans {
-		for _, w := range cs.writes {
-			c.issueWritePair(cs, ch, at, w)
+		for cs.queuedWrites() > 0 {
+			c.issueWritePair(cs, ch, at, cs.popWrite())
 		}
-		cs.writes = nil
 	}
 }
 

@@ -143,13 +143,12 @@ func (c *Controller) legFailed(dummy, quarantined bool) {
 // like everything else) and always tagged: the handshake is authenticated
 // in every MAC mode.
 func (c *Controller) controlPacket(ch int, dir bus.Direction, kind bus.ControlKind) *bus.Packet {
-	pkt := &bus.Packet{
-		Channel: ch,
-		Dir:     dir,
-		HasCmd:  true,
-		Control: kind,
-		Seq:     c.seq,
-	}
+	pkt := c.newPacket()
+	pkt.Channel = ch
+	pkt.Dir = dir
+	pkt.HasCmd = true
+	pkt.Control = kind
+	pkt.Seq = c.seq
 	c.rng.Bytes(pkt.CmdCipher[:])
 	pkt.HasMAC = true
 	pkt.MAC = uint64(md5sim.Compute(0xF0+byte(kind), uint64(ch), c.seq))

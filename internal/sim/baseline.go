@@ -1,0 +1,75 @@
+package sim
+
+import "container/heap"
+
+// BaselineEngine is the frozen pre-rework event queue: a binary
+// container/heap over boxed *baselineEvent values, one heap allocation per
+// Schedule. It is NOT used by the simulator — it exists solely so the
+// engine microbenchmarks (internal/sim and the repo-root trajectory
+// harness) can report before/after events-per-second against the same
+// workload in a single run, keeping the BENCH_PR*.json numbers honest.
+type BaselineEngine struct {
+	now   Time
+	seq   uint64
+	queue baselineQueue
+}
+
+type baselineEvent struct {
+	at    Time
+	seq   uint64
+	index int
+	fn    func()
+}
+
+type baselineQueue []*baselineEvent
+
+func (q baselineQueue) Len() int { return len(q) }
+func (q baselineQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q baselineQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *baselineQueue) Push(x any) {
+	e := x.(*baselineEvent)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *baselineQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// NewBaselineEngine returns a baseline engine at time zero.
+func NewBaselineEngine() *BaselineEngine { return &BaselineEngine{} }
+
+// Now returns the current simulation time.
+func (e *BaselineEngine) Now() Time { return e.now }
+
+// Schedule queues fn at absolute time at.
+func (e *BaselineEngine) Schedule(at Time, fn func()) {
+	ev := &baselineEvent{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// Step fires the next event, reporting false on an empty queue.
+func (e *BaselineEngine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*baselineEvent)
+	e.now = ev.at
+	ev.fn()
+	return true
+}

@@ -3,13 +3,15 @@
 // controller, the bus, the PCM device, and the ObfusMem cryptographic
 // engines.
 //
-// Time is an integer number of picoseconds. Events are scheduled on a binary
-// heap keyed by (time, sequence) so that simultaneous events fire in the
-// order they were scheduled, which keeps runs fully deterministic.
+// Time is an integer number of picoseconds. Events are scheduled on a 4-ary
+// min-heap keyed by (time, sequence) so that simultaneous events fire in the
+// order they were scheduled, which keeps runs fully deterministic. The heap
+// stores concrete *event pointers (no interface boxing) and fired or
+// cancelled events are recycled through an engine-owned free list, so the
+// steady-state Schedule→fire loop performs no heap allocation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -79,48 +81,40 @@ func (t Time) String() string {
 	}
 }
 
-// Event is a scheduled callback.
-type Event struct {
+// event is the engine-internal scheduled callback. Instances are recycled
+// through the engine free list; gen is bumped on every reuse so stale
+// EventRef handles held by callers can never touch the new occupant.
+type event struct {
 	at     Time
 	seq    uint64
-	index  int // heap index; -1 when not queued
+	gen    uint64
 	fn     func()
 	cancel bool
+	queued bool
 }
 
-// Cancelled reports whether the event was cancelled before firing.
-func (e *Event) Cancelled() bool { return e.cancel }
+// EventRef is a handle to a scheduled event, returned by Schedule and
+// After. It stays valid after the event fires or is cancelled: Cancel on a
+// fired handle is a no-op, and once the underlying storage is recycled for
+// a newer event the stale handle is detected by generation and ignored.
+//
+// The zero EventRef refers to nothing; Cancel(EventRef{}) is a no-op.
+type EventRef struct {
+	e   *event
+	gen uint64
+}
 
-// When returns the time the event is scheduled to fire.
-func (e *Event) When() Time { return e.at }
+// Cancelled reports whether the event was cancelled before firing. A fired
+// event — or a stale handle whose storage was recycled — reports false.
+func (r EventRef) Cancelled() bool { return r.e != nil && r.e.gen == r.gen && r.e.cancel }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// When returns the time the event was scheduled to fire, or 0 for a zero or
+// stale handle.
+func (r EventRef) When() Time {
+	if r.e != nil && r.e.gen == r.gen {
+		return r.e.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+	return 0
 }
 
 // Engine is a deterministic discrete-event simulator.
@@ -129,7 +123,9 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	heap    []*event // 4-ary min-heap keyed by (at, seq)
+	live    int      // queued events not yet cancelled
+	free    []*event // recycled event storage
 	fired   uint64
 	stopped bool
 
@@ -170,23 +166,113 @@ func (e *Engine) Now() Time { return e.now }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live (not cancelled, not yet fired) events
+// currently queued. Cancelled events awaiting lazy removal are excluded.
+func (e *Engine) Pending() int { return e.live }
+
+// alloc takes an event from the free list, or allocates when the list is
+// empty (cold start and queue-depth growth only). Reuse bumps the
+// generation, invalidating every EventRef issued for the prior occupant.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.gen++
+		ev.cancel = false
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a fired or dequeued-cancelled event to the free list. The
+// cancel flag is left intact until reuse so existing handles keep answering
+// Cancelled() truthfully for this generation.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// less orders the heap by (at, seq). seq is unique, so the order is total
+// and identical to the pre-rework container/heap engine.
+func eventLess(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// push inserts ev with the sift-up loop inlined (4-ary: parent of i is
+// (i-1)/4).
+func (e *Engine) push(ev *event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.heap = h
+}
+
+// pop removes and returns the minimum event, sifting the last element down
+// (4-ary: children of i are 4i+1..4i+4).
+func (e *Engine) pop() *event {
+	h := e.heap
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if eventLess(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !eventLess(h[m], last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	e.heap = h
+	return root
+}
 
 // Schedule runs fn at absolute time at. Scheduling in the past panics: that
 // is always a model bug.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+func (e *Engine) Schedule(at Time, fn func()) EventRef {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.queued = true
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.push(ev)
+	e.live++
+	return EventRef{e: ev, gen: ev.gen}
 }
 
 // After runs fn d picoseconds from now.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) EventRef {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
@@ -196,35 +282,52 @@ func (e *Engine) After(d Time, fn func()) *Event {
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a true no-op: a fired event stays
 // not-cancelled (Cancelled() keeps returning false), because it really ran.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancel {
-		return
-	}
-	if ev.index < 0 {
-		// Not in the queue and not marked cancelled: the event already
-		// fired. Rewriting history here would make Cancelled() lie.
+// Stale handles — whose storage was recycled for a newer event — are
+// detected by generation and ignored, so a retained EventRef can never
+// cancel someone else's event.
+//
+// Cancellation is lazy: the event is tombstoned in place and discarded when
+// it reaches the head of the queue, making Cancel O(1).
+func (e *Engine) Cancel(r EventRef) {
+	ev := r.e
+	if ev == nil || ev.gen != r.gen || ev.cancel || !ev.queued {
 		return
 	}
 	ev.cancel = true
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	ev.fn = nil
+	e.live--
 	e.metCancelled.Inc()
 }
 
 // Step fires the next event. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+	for len(e.heap) > 0 {
+		ev := e.pop()
+		ev.queued = false
 		if ev.cancel {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
+		e.live--
 		e.metFired.Inc()
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
+}
+
+// skipCancelled drops tombstoned events from the head of the heap so that
+// peeking callers (RunUntil) see the next live event.
+func (e *Engine) skipCancelled() {
+	for len(e.heap) > 0 && e.heap[0].cancel {
+		ev := e.pop()
+		ev.queued = false
+		e.recycle(ev)
+	}
 }
 
 // Run fires events until the queue drains or Stop is called. When metrics
@@ -267,7 +370,8 @@ func (e *Engine) RunUntil(deadline Time) {
 		wallStart = time.Now()
 	}
 	for !e.stopped {
-		if len(e.queue) == 0 || e.queue[0].at > deadline {
+		e.skipCancelled()
+		if len(e.heap) == 0 || e.heap[0].at > deadline {
 			break
 		}
 		e.Step()

@@ -16,7 +16,13 @@
 #   make profile - full-suite run with pprof CPU + heap profiles written to
 #                  cpu.pprof / mem.pprof (see EXPERIMENTS.md "Profiling and
 #                  benchmarking" for how to read them)
-#   make ci      - everything CI runs: vet + check + race + bench-smoke
+#   make lint    - obfuslint: the repo's own analyzer suite (determinism,
+#                  hotpath, eventref, metricnames; see DESIGN.md
+#                  "Machine-checked invariants"), plus golangci-lint and
+#                  govulncheck when installed (both skipped, not failed,
+#                  when absent so the frozen toolchain image still lints)
+#   make lint-fix - gofmt the tree, then re-lint
+#   make ci      - everything CI runs: lint + vet + check + race + bench-smoke
 #   make trace-demo - traced run of the milc profile: Chrome trace JSON
 #                  (load trace.json in Perfetto), attribution report, and
 #                  a 5us metrics time series (see EXPERIMENTS.md "Tracing
@@ -24,7 +30,7 @@
 
 GO ?= go
 
-.PHONY: check vet race race-full bench bench-smoke profile ci trace-demo
+.PHONY: check vet lint lint-fix race race-full bench bench-smoke profile ci trace-demo
 
 check:
 	$(GO) build ./...
@@ -32,6 +38,24 @@ check:
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) build ./...
+	$(GO) run ./cmd/obfuslint ./...
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run; \
+	else \
+		echo "lint: golangci-lint not installed; skipping (CI installs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (CI installs it)"; \
+	fi
+
+lint-fix:
+	gofmt -w $$(git ls-files '*.go' | grep -v testdata)
+	$(MAKE) lint
 
 race:
 	$(GO) test -race -short ./...
@@ -52,7 +76,7 @@ profile:
 		-cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
 	@echo "profiles written; inspect with: $(GO) tool pprof -top cpu.pprof"
 
-ci: vet check race bench-smoke
+ci: lint vet check race bench-smoke
 
 trace-demo:
 	$(GO) run ./cmd/obfsim -exp none -requests 4000 \

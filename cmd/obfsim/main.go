@@ -81,6 +81,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	metricsOutSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "metrics-out" {
+			metricsOutSet = true
+		}
+	})
+
+	// Fail fast on unwritable output destinations: a multi-minute experiment
+	// run must not be discarded at the final write.
+	preflight := [][2]string{
+		{"trace-out", *traceOut},
+		{"attrib-out", *attribOut},
+	}
+	if *useMetrics || metricsOutSet {
+		preflight = append(preflight, [2]string{"metrics-out", *metricsOut})
+	}
+	if *sampleEvery > 0 {
+		preflight = append(preflight, [2]string{"sample-out", *sampleOut})
+	}
+	for _, p := range preflight {
+		if err := checkWritable(p[0], p[1]); err != nil {
+			return err
+		}
+	}
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -120,12 +145,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 	opts.Workers = *workers
 	opts.CPU = cpu.Config{Exposure: *exposure, WriteBuffer: 16}
 
-	metricsOutSet := false
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "metrics-out" {
-			metricsOutSet = true
-		}
-	})
 	var reg *metrics.Registry
 	if *useMetrics || metricsOutSet {
 		reg = metrics.NewRegistry()
@@ -197,6 +216,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := traceRun(topts, stdout, stderr); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// checkWritable verifies that the output destination named by -<flagName>
+// can be opened for writing, before any simulation work starts. "-" (stdout)
+// and empty paths need no check. A file created purely by the probe is
+// removed again so a failed or interrupted run leaves no empty artifact.
+func checkWritable(flagName, path string) error {
+	if path == "" || path == "-" {
+		return nil
+	}
+	_, statErr := os.Stat(path)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o666)
+	if err != nil {
+		return fmt.Errorf("-%s: %w", flagName, err)
+	}
+	f.Close()
+	if statErr != nil && os.IsNotExist(statErr) {
+		os.Remove(path)
 	}
 	return nil
 }

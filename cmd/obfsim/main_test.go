@@ -286,3 +286,56 @@ func TestExpFaultsRuns(t *testing.T) {
 		t.Fatalf("faults table not printed:\n%s", out)
 	}
 }
+
+// TestUnwritableOutputFailsFast verifies the preflight: an output flag
+// pointing into a nonexistent directory must fail before any experiment or
+// traced run burns time, and the error must name the offending flag.
+func TestUnwritableOutputFailsFast(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "out.json")
+	cases := [][]string{
+		{"-exp", "none", "-trace-out", bad},
+		{"-exp", "none", "-attrib-out", bad},
+		{"-exp", "none", "-metrics", "-metrics-out", bad},
+		{"-exp", "none", "-trace-out", "-", "-sample-every", "5", "-sample-out", bad},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		err := run(args, &stdout, &stderr)
+		if err == nil {
+			t.Errorf("run(%v): expected preflight error, got none", args)
+			continue
+		}
+		flagName := args[len(args)-2] // the flag whose value is the bad path
+		if !strings.Contains(err.Error(), flagName) {
+			t.Errorf("run(%v): error %q does not name %s", args, err, flagName)
+		}
+	}
+}
+
+// TestPreflightLeavesNoArtifact verifies that probing a writable destination
+// does not leave an empty file behind when the path did not exist.
+func TestPreflightLeavesNoArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "probe.json")
+	if err := checkWritable("trace-out", path); err != nil {
+		t.Fatalf("checkWritable(%s): %v", path, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("preflight left %s behind (stat err: %v)", path, err)
+	}
+}
+
+// TestPreflightKeepsExistingFile verifies the probe does not truncate or
+// remove a pre-existing destination file.
+func TestPreflightKeepsExistingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "existing.json")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkWritable("metrics-out", path); err != nil {
+		t.Fatalf("checkWritable(%s): %v", path, err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "precious" {
+		t.Errorf("preflight disturbed existing file: content %q, err %v", got, err)
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the driver with stdout/stderr redirected to temp files and
+// returns the exit code plus both streams.
+func capture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = run(outF, errF, args)
+	outB, _ := os.ReadFile(outF.Name())
+	errB, _ := os.ReadFile(errF.Name())
+	return code, string(outB), string(errB)
+}
+
+func TestListNamesAllAnalyzers(t *testing.T) {
+	code, out, _ := capture(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"determinism", "eventref", "hotpath", "metricnames"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestSeededViolationFails builds a scratch module containing a determinism
+// violation and requires the driver to find it and exit 1 — the contract the
+// CI lint job depends on.
+func TestSeededViolationFails(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := filepath.Join(dir, "internal", "sim")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package sim
+
+import "time"
+
+func Wall() int64 { return time.Now().UnixNano() }
+`
+	if err := os.WriteFile(filepath.Join(pkg, "sim.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Chdir(dir)
+	code, out, stderr := capture(t, "./...")
+	if code != 1 {
+		t.Fatalf("expected exit 1 on seeded violation, got %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if !strings.Contains(out, "determinism") || !strings.Contains(out, "time.Now") {
+		t.Errorf("finding not reported as determinism/time.Now:\n%s", out)
+	}
+}
+
+// TestSuppressedViolationPasses seeds the same violation with a
+// //lint:allow suppression and requires a clean exit.
+func TestSuppressedViolationPasses(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := filepath.Join(dir, "internal", "sim")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package sim
+
+import "time"
+
+func Wall() int64 {
+	//lint:allow determinism test fixture exercising suppression
+	return time.Now().UnixNano()
+}
+`
+	if err := os.WriteFile(filepath.Join(pkg, "sim.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Chdir(dir)
+	code, out, stderr := capture(t, "./...")
+	if code != 0 {
+		t.Fatalf("expected clean exit with suppression, got %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+}
+
+// TestMalformedSuppressionFails requires a reasonless //lint:allow to be a
+// finding in its own right.
+func TestMalformedSuppressionFails(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := filepath.Join(dir, "internal", "sim")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package sim
+
+func x() int {
+	//lint:allow determinism
+	return 1
+}
+`
+	if err := os.WriteFile(filepath.Join(pkg, "sim.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Chdir(dir)
+	code, out, _ := capture(t, "./...")
+	if code != 1 || !strings.Contains(out, "malformed directive") {
+		t.Fatalf("expected malformed-directive finding and exit 1, got %d:\n%s", code, out)
+	}
+}

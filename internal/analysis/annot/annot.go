@@ -1,0 +1,224 @@
+// Package annot parses the source annotations shared by every obfuslint
+// analyzer:
+//
+//	//obfus:hotpath      function is a zero-alloc hot leg (hotpath analyzer)
+//	//obfus:wallclock    function legitimately reads the wall clock
+//	//lint:allow <analyzer> <reason>   suppress one finding, with a reason
+//
+// The //obfus:* directives live in a function's doc comment and classify the
+// whole function. //lint:allow is positional: written on (or on the line
+// directly above) the flagged line, it suppresses that analyzer's
+// diagnostics for that line only. A reason is mandatory — a suppression
+// without an explanation is itself reported by the driver.
+package annot
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// Directive name constants.
+const (
+	Hotpath   = "hotpath"
+	Wallclock = "wallclock"
+)
+
+const (
+	obfusPrefix = "//obfus:"
+	allowPrefix = "//lint:allow"
+)
+
+// allowSite is one parsed //lint:allow comment.
+type allowSite struct {
+	analyzer string
+	line     int // suppresses findings on this line and the next
+}
+
+// Malformed is a directive that failed to parse (missing analyzer name or
+// reason). The driver surfaces these as findings so suppressions cannot
+// silently rot.
+type Malformed struct {
+	Pos  token.Pos
+	Text string
+}
+
+// Directives is the parsed annotation set of one package.
+type Directives struct {
+	funcs     map[*ast.FuncDecl]map[string]bool
+	allowsByF map[string][]allowSite // filename -> sites
+	malformed []Malformed
+}
+
+// Parse extracts the directives from the package's files.
+func Parse(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{
+		funcs:     make(map[*ast.FuncDecl]map[string]bool),
+		allowsByF: make(map[string][]allowSite),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d.parseComment(fset, c)
+			}
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if rest, ok := strings.CutPrefix(c.Text, obfusPrefix); ok {
+					name := strings.TrimSpace(rest)
+					if name == "" {
+						d.malformed = append(d.malformed, Malformed{c.Pos(), c.Text})
+						continue
+					}
+					set := d.funcs[fn]
+					if set == nil {
+						set = make(map[string]bool)
+						d.funcs[fn] = set
+					}
+					set[name] = true
+				}
+			}
+		}
+	}
+	return d
+}
+
+func (d *Directives) parseComment(fset *token.FileSet, c *ast.Comment) {
+	rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+	if !ok {
+		return
+	}
+	fields := strings.Fields(rest)
+	// An analyzer name plus at least one word of reason is mandatory.
+	if len(fields) < 2 {
+		d.malformed = append(d.malformed, Malformed{c.Pos(), c.Text})
+		return
+	}
+	pos := fset.Position(c.Pos())
+	d.allowsByF[pos.Filename] = append(d.allowsByF[pos.Filename], allowSite{
+		analyzer: fields[0],
+		line:     pos.Line,
+	})
+}
+
+// FuncHas reports whether fn's doc comment carries //obfus:<name>.
+func (d *Directives) FuncHas(fn *ast.FuncDecl, name string) bool {
+	return d.funcs[fn][name]
+}
+
+// Allowed reports whether a finding of the named analyzer at pos is
+// suppressed by a //lint:allow comment on the same or the preceding line.
+func (d *Directives) Allowed(analyzer string, fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, a := range d.allowsByF[p.Filename] {
+		if a.analyzer == analyzer && (a.line == p.Line || a.line == p.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// Malformed returns the unparsable directives found in the package.
+func (d *Directives) MalformedDirectives() []Malformed { return d.malformed }
+
+// ModuleIndex answers cross-package annotation queries ("is the callee in
+// that other package marked //obfus:hotpath?") by lazily parsing the other
+// package's sources. Construction is cheap; packages parse on first query
+// and are cached. Safe for concurrent use.
+type ModuleIndex struct {
+	mu   sync.Mutex
+	dirs map[string][]string        // import path -> absolute Go file paths
+	fns  map[string]map[string]bool // import path -> "Recv.Name" or "Name" -> hotpath-style directive set key "name\x00dir"
+}
+
+// NewModuleIndex builds an index over import path -> source files.
+func NewModuleIndex(files map[string][]string) *ModuleIndex {
+	return &ModuleIndex{dirs: files, fns: make(map[string]map[string]bool)}
+}
+
+// FuncHas reports whether fn (a function or method in an indexed package)
+// carries //obfus:<directive> on its declaration. Unknown packages and
+// functions report false.
+func (m *ModuleIndex) FuncHas(fn *types.Func, directive string) bool {
+	if m == nil || fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set, ok := m.fns[path]
+	if !ok {
+		set = m.parseLocked(path)
+		m.fns[path] = set
+	}
+	return set[funcKey(fn)+"\x00"+directive]
+}
+
+// funcKey names a function "Name" or "Recv.Name" with pointer receivers
+// stripped, matching declKey below.
+func funcKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func declKey(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name + "." + fn.Name.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name + "." + fn.Name.Name
+		}
+	}
+	return fn.Name.Name
+}
+
+func (m *ModuleIndex) parseLocked(path string) map[string]bool {
+	set := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, file := range m.dirs[path] {
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if rest, ok := strings.CutPrefix(c.Text, obfusPrefix); ok {
+					name := strings.TrimSpace(rest)
+					if name != "" {
+						set[declKey(fn)+"\x00"+name] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}

@@ -1,0 +1,129 @@
+// Package framework is a small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis driver model on top of the standard
+// library's go/ast, go/types, and go/importer.
+//
+// The repository's invariants — bit-identical output for any seed or worker
+// count, zero-allocation hot legs, exact latency attribution — are enforced
+// at runtime by tests; the obfuslint analyzers built on this framework turn
+// them into compile-time properties. The framework exists because the
+// toolchain image intentionally carries no module dependencies: analyzers
+// receive the same (Fset, Files, Pkg, TypesInfo) quadruple a go/analysis
+// Pass would provide, and the cmd/obfuslint driver plays the multichecker.
+//
+// Suppression is uniform across analyzers: a `//lint:allow <analyzer>
+// <reason>` comment on the flagged line (or the line directly above it)
+// drops the diagnostic. Suppression filtering happens here, in the driver
+// layer, so individual analyzers report unconditionally and stay simple.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"obfusmem/internal/analysis/annot"
+)
+
+// Analyzer is one named static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name> <reason>` suppressions.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// machine-checks.
+	Doc string
+	// Run reports diagnostics for one package via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Annot holds the parsed //obfus:* and //lint:allow directives of this
+	// package's files.
+	Annot *annot.Directives
+	// Module resolves //obfus:* annotations on functions in other packages
+	// of this module (nil outside a module-aware driver run, e.g. in
+	// single-package golden tests that do not need cross-package facts).
+	Module *annot.ModuleIndex
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Package is one loaded, type-checked package (see Load).
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	Annot      *annot.Directives
+}
+
+// Run applies the analyzers to the packages and returns the surviving
+// (unsuppressed) diagnostics in deterministic (file, line, column, analyzer)
+// order. module may be nil when cross-package annotation lookup is not
+// needed.
+func Run(pkgs []*Package, analyzers []*Analyzer, module *annot.ModuleIndex) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				Annot:     pkg.Annot,
+				Module:    module,
+			}
+			pass.report = func(d Diagnostic) {
+				d.Analyzer = a.Name
+				if pkg.Annot.Allowed(a.Name, pkg.Fset, d.Pos) {
+					return
+				}
+				out = append(out, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
+	fset := (*token.FileSet)(nil)
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,20 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"obfusmem/internal/analysis/analysistest"
+	"obfusmem/internal/analysis/passes/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "sim", "obfusmem/internal/sim", determinism.Analyzer, "math/rand")
+}
+
+func TestWorkerPoolExempt(t *testing.T) {
+	analysistest.Run(t, "exp", "obfusmem/internal/exp", determinism.Analyzer)
+}
+
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, "outside", "example.com/outside", determinism.Analyzer)
+}

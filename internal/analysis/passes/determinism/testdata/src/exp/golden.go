@@ -1,0 +1,16 @@
+// Golden sources proving the exp worker-pool exemption: the same go
+// statement that fires in any other scoped package is silent here.
+package exp
+
+func fanOut(jobs []func()) {
+	done := make(chan struct{})
+	for _, j := range jobs {
+		go func() {
+			j()
+			done <- struct{}{}
+		}()
+	}
+	for range jobs {
+		<-done
+	}
+}

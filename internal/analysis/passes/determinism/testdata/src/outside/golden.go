@@ -1,0 +1,7 @@
+// Golden sources proving the scope filter: an unscoped package may read the
+// wall clock freely.
+package outside
+
+import "time"
+
+func wall() time.Time { return time.Now() }

@@ -1,0 +1,167 @@
+// Package eventref machine-checks correct handling of sim.EventRef, the
+// generation-counted handle returned by Engine.Schedule and Engine.After.
+// A ref is the only way to cancel a pending event, refs go stale when their
+// storage slot is recycled, and Engine.Reset invalidates every outstanding
+// ref at once. Three misuse patterns follow, and the analyzer reports each:
+//
+//   - Discarding the result of Schedule/After (as a bare statement or a
+//     blank assignment). Fire-and-forget events are legitimate in a
+//     discrete-event model, but the discard must be declared:
+//     //lint:allow eventref <why this event never needs cancelling>.
+//   - Comparing EventRefs with == or !=. A ref is a (slot, generation)
+//     pair; equality of two refs says nothing useful about event identity
+//     once slots recycle, and the zero ref compares equal to any other
+//     zero ref. Track event state explicitly instead.
+//   - Using an EventRef obtained before an Engine.Reset after the Reset
+//     call in the same function. Reset bumps every slot generation, so the
+//     retained ref is dead: Cancel through it is a silent no-op.
+package eventref
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"obfusmem/internal/analysis/framework"
+)
+
+// Analyzer is the eventref pass.
+var Analyzer = &framework.Analyzer{
+	Name: "eventref",
+	Doc:  "flags discarded Schedule/After results, == comparison of EventRefs, and refs retained across Engine.Reset",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl) {
+	var resets []token.Pos // End positions of Engine.Reset calls
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name := scheduleCall(pass, call); name != "" {
+					pass.Reportf(call.Pos(), "result of Engine.%s discarded: the EventRef is the only cancellation handle (declare fire-and-forget events with //lint:allow eventref <reason>)", name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if !isBlank(lhs) || i >= len(n.Rhs) {
+					continue
+				}
+				if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok {
+					if name := scheduleCall(pass, call); name != "" {
+						pass.Reportf(n.Pos(), "result of Engine.%s assigned to blank: the EventRef is the only cancellation handle (declare fire-and-forget events with //lint:allow eventref <reason>)", name)
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if (n.Op == token.EQL || n.Op == token.NEQ) && (isEventRef(pass.TypesInfo.TypeOf(n.X)) || isEventRef(pass.TypesInfo.TypeOf(n.Y))) {
+				pass.Reportf(n.Pos(), "EventRefs compared with %s: a ref is a (slot, generation) handle, and equality says nothing about event identity once slots recycle", n.Op)
+			}
+		case *ast.CallExpr:
+			if f := callee(pass, n); f != nil && isEngineMethod(f, "Reset") {
+				resets = append(resets, n.End())
+			}
+		}
+		return true
+	})
+
+	if len(resets) == 0 {
+		return
+	}
+	firstReset := resets[0]
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !isEventRef(obj.Type()) || obj.IsField() {
+			return true
+		}
+		// A ref declared before the first Reset and read after any Reset is
+		// necessarily stale at that read.
+		if obj.Pos() < firstReset && id.Pos() > firstReset {
+			pass.Reportf(id.Pos(), "EventRef %s retained across Engine.Reset: Reset bumps every slot generation, so this ref can no longer cancel anything", obj.Name())
+		}
+		return true
+	})
+}
+
+// scheduleCall returns "Schedule" or "After" when call is a result-producing
+// Engine scheduling call, "" otherwise.
+func scheduleCall(pass *framework.Pass, call *ast.CallExpr) string {
+	f := callee(pass, call)
+	if f == nil {
+		return ""
+	}
+	if isEngineMethod(f, "Schedule") || isEngineMethod(f, "After") {
+		return f.Name()
+	}
+	return ""
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callee resolves the static callee of a call expression.
+func callee(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isEngineMethod reports whether f is sim.(*Engine).<name>.
+func isEngineMethod(f *types.Func, name string) bool {
+	if f.Name() != name {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Engine" && inSimPackage(n.Obj().Pkg())
+}
+
+// isEventRef reports whether t is (or points to) sim.EventRef.
+func isEventRef(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "EventRef" && inSimPackage(n.Obj().Pkg())
+}
+
+func inSimPackage(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "obfusmem/internal/sim" || strings.HasSuffix(pkg.Path(), "/internal/sim"))
+}

@@ -1,0 +1,12 @@
+package eventref_test
+
+import (
+	"testing"
+
+	"obfusmem/internal/analysis/analysistest"
+	"obfusmem/internal/analysis/passes/eventref"
+)
+
+func TestEventRef(t *testing.T) {
+	analysistest.Run(t, "eventref", "obfusmem/lint/eventref", eventref.Analyzer)
+}

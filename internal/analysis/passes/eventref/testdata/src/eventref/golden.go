@@ -1,0 +1,51 @@
+// Golden sources for the eventref analyzer, exercising the real
+// obfusmem/internal/sim API through its export data.
+package eventref
+
+import "obfusmem/internal/sim"
+
+func fire(e *sim.Engine) {
+	e.After(5, func() {}) // want "result of Engine.After discarded"
+}
+
+func fireSchedule(e *sim.Engine) {
+	e.Schedule(5, func() {}) // want "result of Engine.Schedule discarded"
+}
+
+func blankFire(e *sim.Engine) {
+	_ = e.After(5, func() {}) // want "assigned to blank"
+}
+
+func retained(e *sim.Engine) sim.EventRef {
+	return e.After(5, func() {}) // retained: fine
+}
+
+func cancellable(e *sim.Engine) func() {
+	ref := e.After(5, func() {})
+	return func() { e.Cancel(ref) }
+}
+
+func heartbeat(e *sim.Engine) {
+	//lint:allow eventref heartbeat tick never needs cancelling
+	e.After(5, func() {}) // suppressed: no finding
+}
+
+func compare(a, b sim.EventRef) bool {
+	return a == b // want "compared with =="
+}
+
+func compareZero(a sim.EventRef) bool {
+	return a != (sim.EventRef{}) // want "compared with !="
+}
+
+func staleAcrossReset(e *sim.Engine) bool {
+	ref := e.After(5, func() {})
+	e.Reset()
+	return ref.Cancelled() // want "retained across Engine.Reset"
+}
+
+func freshAfterReset(e *sim.Engine) bool {
+	e.Reset()
+	ref := e.After(5, func() {})
+	return ref.Cancelled() // fine: the ref postdates the Reset
+}

@@ -1,0 +1,380 @@
+// Package hotpath machine-checks the zero-allocation contract of functions
+// annotated //obfus:hotpath: the event-engine legs and metric instruments
+// that run per simulated memory access and are covered at runtime by
+// testing.AllocsPerRun guards. The analyzer makes the contract local and
+// compositional — a hot function may only call other hot functions — so an
+// allocation can't sneak in two calls deep where the alloc-count tests no
+// longer point at the culprit.
+//
+// Inside an annotated function the analyzer reports:
+//
+//   - capturing closures (a func literal referencing outer locals allocates
+//     its context on the heap)
+//   - append whose destination is not an owned buffer (receiver/struct
+//     field, parameter, or re-sliced scratch) — growing a fresh local slice
+//     is a hidden make
+//   - string concatenation and []byte/[]rune→string conversions
+//   - interface conversions, explicit or implicit (assignment or argument
+//     boxing)
+//   - make, new, &T{...}, and slice/map composite literals
+//   - defer (its argument frame outlives the statement) and go statements
+//   - calls to functions not themselves annotated //obfus:hotpath, except a
+//     short whitelist of non-allocating standard-library packages (math,
+//     math/bits, sync/atomic, encoding/binary, unsafe) and sort's binary
+//     searches
+//
+// Dynamic calls through function values are permitted — the target is
+// checked wherever it is defined. Blocks that end in panic are cold by
+// definition and exempt, so guard clauses may format their dying message.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"obfusmem/internal/analysis/annot"
+	"obfusmem/internal/analysis/framework"
+)
+
+// Analyzer is the hotpath pass.
+var Analyzer = &framework.Analyzer{
+	Name: "hotpath",
+	Doc:  "forbids allocation, boxing, and calls to unannotated functions inside //obfus:hotpath functions",
+	Run:  run,
+}
+
+// stdWhitelist lists standard-library packages whose exported functions are
+// allocation-free.
+var stdWhitelist = map[string]bool{
+	"math":            true,
+	"math/bits":       true,
+	"sync/atomic":     true,
+	"encoding/binary": true,
+	"unsafe":          true,
+}
+
+// sortWhitelist lists the alloc-free entry points of package sort.
+var sortWhitelist = map[string]bool{
+	"Search": true, "SearchInts": true, "SearchFloat64s": true, "SearchStrings": true,
+}
+
+func run(pass *framework.Pass) error {
+	// Map same-package function objects back to their declarations so a
+	// callee's annotation can be looked up.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				decls[pass.TypesInfo.Defs[fn.Name]] = fn
+			}
+		}
+	}
+
+	c := &checker{pass: pass, decls: decls}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.Annot.FuncHas(fn, annot.Hotpath) {
+				continue
+			}
+			c.fn = fn
+			c.walk(fn.Body)
+		}
+	}
+	return nil
+}
+
+// checker carries the per-package state through one annotated function.
+type checker struct {
+	pass  *framework.Pass
+	decls map[types.Object]*ast.FuncDecl
+	fn    *ast.FuncDecl // function under check
+}
+
+// walk visits n, pruning cold blocks and closure bodies.
+func (c *checker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			if endsInPanic(n) {
+				return false // cold by definition: dying is allowed to allocate
+			}
+		case *ast.FuncLit:
+			if cap := c.captured(n); cap != "" {
+				c.pass.Reportf(n.Pos(), "closure captures %s: the context allocates on the heap", cap)
+			}
+			return false // the literal's body runs under its own annotation rules
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(c.pass.TypesInfo.TypeOf(n.X)) {
+				c.pass.Reportf(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.GenDecl:
+			c.checkVarDecl(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.pass.Reportf(n.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.CompositeLit:
+			t := c.pass.TypesInfo.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					c.pass.Reportf(n.Pos(), "slice/map literal allocates")
+				}
+			}
+		case *ast.DeferStmt:
+			c.pass.Reportf(n.Pos(), "defer in hot path: the deferred frame is heap-allocated pre-go1.13-style and costs on every call")
+		case *ast.GoStmt:
+			c.pass.Reportf(n.Pos(), "go statement in hot path allocates a goroutine")
+		}
+		return true
+	})
+}
+
+// endsInPanic reports whether the block's final statement is a panic call.
+func endsInPanic(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	es, ok := b.List[len(b.List)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// captured returns the name of a free variable the literal closes over, or
+// "" when the literal is context-free (captures nothing, or only
+// package-level state).
+func (c *checker) captured(lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || name != "" {
+			return name == ""
+		}
+		obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.Pos() == token.NoPos {
+			return true
+		}
+		// Free variable: declared outside the literal but not at package
+		// scope (package vars need no closure context).
+		if (obj.Pos() < lit.Pos() || obj.Pos() > lit.End()) &&
+			obj.Parent() != c.pass.Pkg.Scope() && !obj.IsField() {
+			name = obj.Name()
+		}
+		return name == ""
+	})
+	return name
+}
+
+// checkCall classifies one call: builtin, conversion, static call, or
+// dynamic call.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				c.pass.Reportf(call.Pos(), "%s allocates in hot path", id.Name)
+			case "append":
+				c.checkAppend(call)
+			}
+			return
+		}
+	}
+
+	// Conversions.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+
+	// Static calls: the callee must be hot or whitelisted.
+	if fn := c.calleeFunc(call); fn != nil {
+		if !c.calleeAllowed(fn) {
+			c.pass.Reportf(call.Pos(), "call to %s, which is not annotated //obfus:hotpath", fn.FullName())
+			return
+		}
+		c.checkArgBoxing(call)
+		return
+	}
+	// Dynamic call through a function value: allowed; the target is checked
+	// where it is defined.
+	c.checkArgBoxing(call)
+}
+
+// calleeAllowed reports whether the resolved static callee may be invoked
+// from a hot function.
+func (c *checker) calleeAllowed(fn *types.Func) bool {
+	if fn.Pkg() == nil { // error.Error and friends from the universe scope
+		return false
+	}
+	path := fn.Pkg().Path()
+	if stdWhitelist[path] {
+		return true
+	}
+	if path == "sort" && sortWhitelist[fn.Name()] {
+		return true
+	}
+	if fn.Pkg() == c.pass.Pkg {
+		decl, ok := c.decls[fn]
+		return ok && c.pass.Annot.FuncHas(decl, annot.Hotpath)
+	}
+	return c.pass.Module.FuncHas(fn, annot.Hotpath)
+}
+
+// calleeFunc resolves the static callee, nil for dynamic calls.
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// checkAppend requires append's destination to be an owned buffer: a struct
+// field or other selector, a re-sliced scratch (buf[:0]), or a parameter of
+// the function under check. A fresh local is a hidden make.
+func (c *checker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	switch dst := ast.Unparen(call.Args[0]).(type) {
+	case *ast.SelectorExpr, *ast.SliceExpr, *ast.IndexExpr:
+		return
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.Uses[dst]; obj != nil && c.isParam(obj) {
+			return
+		}
+		c.pass.Reportf(call.Pos(), "append to non-scratch slice %s may grow and allocate; append only to owned buffers (field, parameter, or re-sliced scratch)", dst.Name)
+	default:
+		c.pass.Reportf(call.Pos(), "append destination is not an owned buffer")
+	}
+}
+
+// isParam reports whether obj is a parameter (or named result) of the
+// function under check.
+func (c *checker) isParam(obj types.Object) bool {
+	ft := c.fn.Type
+	in := func(fl *ast.FieldList) bool {
+		return fl != nil && obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End()
+	}
+	return in(ft.Params) || in(ft.Results) || (c.fn.Recv != nil && in(c.fn.Recv))
+}
+
+// checkConversion flags conversions that allocate or box.
+func (c *checker) checkConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := c.pass.TypesInfo.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	if types.IsInterface(to.Underlying()) && !types.IsInterface(from.Underlying()) {
+		c.pass.Reportf(call.Pos(), "conversion to interface boxes the value")
+		return
+	}
+	if isString(to) {
+		if _, fromSlice := from.Underlying().(*types.Slice); fromSlice {
+			c.pass.Reportf(call.Pos(), "[]byte/[]rune to string conversion copies and allocates")
+		}
+	}
+}
+
+// checkAssign flags implicit boxing: a concrete value assigned to an
+// interface-typed destination.
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	if as.Tok == token.ADD_ASSIGN && isString(c.pass.TypesInfo.TypeOf(as.Lhs[0])) {
+		c.pass.Reportf(as.Pos(), "string concatenation allocates")
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		c.checkBoxing(as.Rhs[i], c.pass.TypesInfo.TypeOf(as.Lhs[i]))
+	}
+}
+
+// checkVarDecl flags boxing through var declarations with initializers.
+func (c *checker) checkVarDecl(decl *ast.GenDecl) {
+	if decl.Tok != token.VAR {
+		return
+	}
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if i < len(vs.Values) {
+				c.checkBoxing(vs.Values[i], c.pass.TypesInfo.TypeOf(name))
+			}
+		}
+	}
+}
+
+// checkArgBoxing flags concrete arguments passed in interface-typed
+// parameter slots of an otherwise-allowed call.
+func (c *checker) checkArgBoxing(call *ast.CallExpr) {
+	sig, ok := c.pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		c.checkBoxing(arg, pt)
+	}
+}
+
+// checkBoxing reports rhs if it is a concrete value converted implicitly to
+// an interface-typed destination.
+func (c *checker) checkBoxing(rhs ast.Expr, dst types.Type) {
+	if dst == nil || !types.IsInterface(dst.Underlying()) {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[rhs]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	if !types.IsInterface(tv.Type.Underlying()) {
+		c.pass.Reportf(rhs.Pos(), "implicit conversion to interface boxes the value")
+	}
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

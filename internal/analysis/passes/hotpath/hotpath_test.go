@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"obfusmem/internal/analysis/analysistest"
+	"obfusmem/internal/analysis/passes/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "hot", "obfusmem/lint/hot", hotpath.Analyzer)
+}

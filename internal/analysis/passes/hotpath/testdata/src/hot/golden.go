@@ -1,0 +1,159 @@
+// Golden sources for the hotpath analyzer.
+package hot
+
+import (
+	"math"
+
+	"obfusmem/internal/metrics"
+)
+
+type ring struct{ buf []int }
+
+//obfus:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//obfus:hotpath
+func concatAssign(s string) string {
+	s += "x" // want "string concatenation"
+	return s
+}
+
+//obfus:hotpath
+func heapLit() *ring {
+	return &ring{} // want "composite literal allocates"
+}
+
+//obfus:hotpath
+func makes() []int {
+	return make([]int, 8) // want "make allocates"
+}
+
+//obfus:hotpath
+func news() *int {
+	return new(int) // want "new allocates"
+}
+
+//obfus:hotpath
+func sliceLit() []int {
+	return []int{1, 2} // want "slice/map literal allocates"
+}
+
+//obfus:hotpath
+func capture(x int) func() int {
+	return func() int { return x } // want "captures x"
+}
+
+//obfus:hotpath
+func contextFree() func() int {
+	return func() int { return 42 }
+}
+
+//obfus:hotpath
+func appendLocal(v int) []int {
+	var s []int
+	s = append(s, v) // want "append to non-scratch slice"
+	return s
+}
+
+//obfus:hotpath
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v) // owned buffer: fine
+}
+
+//obfus:hotpath
+func appendParam(dst []byte, b byte) []byte {
+	return append(dst, b) // parameter: fine
+}
+
+//obfus:hotpath
+func scratch(buf []int, v int) []int {
+	return append(buf[:0], v) // re-sliced scratch: fine
+}
+
+func cold() int { return 0 }
+
+//obfus:hotpath
+func callsCold() int {
+	return cold() // want "not annotated"
+}
+
+//obfus:hotpath
+func hotLeaf(x uint64) uint64 { return x * 2654435761 }
+
+//obfus:hotpath
+func callsHot(x uint64) uint64 {
+	return hotLeaf(x) // annotated callee: fine
+}
+
+//obfus:hotpath
+func callsWhitelisted(x float64) float64 {
+	return math.Sqrt(x) // whitelisted stdlib: fine
+}
+
+//obfus:hotpath
+func callsInstrument(c *metrics.Counter) {
+	c.Inc() // cross-package //obfus:hotpath callee: fine
+}
+
+//obfus:hotpath
+func callsColdCross(c *metrics.Counter) uint64 {
+	return c.Value() // want "not annotated"
+}
+
+//obfus:hotpath
+func boxes(v int) any {
+	var sink any
+	sink = v // want "boxes the value"
+	return sink
+}
+
+//obfus:hotpath
+func boxesDecl(v int) any {
+	var sink any = v // want "boxes the value"
+	return sink
+}
+
+//obfus:hotpath
+func boxesArg(f func(any), v int) {
+	f(v) // want "boxes the value"
+}
+
+//obfus:hotpath
+func dynCall(f func() int) int {
+	return f() // dynamic call: fine
+}
+
+//obfus:hotpath
+func guard(n int) int {
+	if n < 0 {
+		panic("negative " + "input") // cold block may allocate
+	}
+	return n
+}
+
+//obfus:hotpath
+func deferred(f func()) {
+	defer f() // want "defer in hot path"
+}
+
+//obfus:hotpath
+func spawns(f func()) {
+	go f() // want "go statement in hot path"
+}
+
+//obfus:hotpath
+func allowedAlloc() *ring {
+	//lint:allow hotpath pool refill is a one-time cold start
+	return &ring{} // suppressed: no finding
+}
+
+//obfus:hotpath
+func bytesToString(b []byte) string {
+	return string(b) // want "copies and allocates"
+}
+
+func unannotated() []int {
+	return make([]int, 8) // unannotated functions are out of scope
+}

@@ -1,0 +1,112 @@
+// Package metricnames machine-checks the central-registry discipline for
+// metric and trace-span names: every name reaching a names.Name-typed
+// position must originate in internal/names, where the full dotted-lowercase
+// namespace is declared in one auditable place.
+//
+// The types make this mostly structural — metrics and trace APIs take
+// names.Name, so arbitrary strings need a conversion — but Go's untyped
+// constants leave two holes the analyzer closes:
+//
+//   - A string literal at a names.Name position compiles silently (untyped
+//     constants convert implicitly). Reported everywhere outside
+//     internal/names.
+//   - names.Name(expr) conversions would launder computed strings past the
+//     registry. Reported everywhere outside internal/names; derived names
+//     must flow through the registry's own helpers (PerChannel, Dummy).
+//
+// Inside a names registry package (package name "names") the analyzer
+// instead audits the declarations: every Name-typed constant must match the
+// dotted-lowercase grammar segment("." segment)*, where a segment is
+// [a-z0-9]+ runs joined by '_', '-', or '+'.
+package metricnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"obfusmem/internal/analysis/framework"
+)
+
+// Analyzer is the metricnames pass.
+var Analyzer = &framework.Analyzer{
+	Name: "metricnames",
+	Doc:  "requires metric/span names to be constants from internal/names and audits the registry's dotted-lowercase grammar",
+	Run:  run,
+}
+
+// nameGrammar is the dotted-lowercase convention for registered names.
+var nameGrammar = regexp.MustCompile(`^[a-z0-9]+([._+-][a-z0-9]+)*$`)
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.Name() == "names" {
+		checkRegistry(pass)
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if isNameType(pass.TypesInfo.TypeOf(n)) {
+					pass.Reportf(n.Pos(), "string literal %s used as names.Name: declare it as a constant in internal/names", n.Value)
+				}
+			case *ast.CallExpr:
+				if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() && isNameType(tv.Type) {
+					pass.Reportf(n.Pos(), "conversion to names.Name outside internal/names launders an unregistered name: derive names via the registry's helpers instead")
+					return false // don't re-report a literal inside the conversion
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRegistry audits a names registry package: every Name-typed constant
+// must match the dotted-lowercase grammar.
+func checkRegistry(pass *framework.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok || !isNameType(obj.Type()) {
+						continue
+					}
+					if obj.Val().Kind() != constant.String {
+						continue
+					}
+					v := constant.StringVal(obj.Val())
+					if !nameGrammar.MatchString(v) {
+						pass.Reportf(name.Pos(), "registered name %q violates the dotted-lowercase convention ([a-z0-9] runs joined by _ - +, segments joined by dots)", v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// isNameType reports whether t is a named type Name declared in a names
+// package (internal/names in the real tree; any package named "names" in
+// golden tests).
+func isNameType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Name() != "Name" {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && (pkg.Name() == "names" || strings.HasSuffix(pkg.Path(), "/names"))
+}

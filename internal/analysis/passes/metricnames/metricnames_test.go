@@ -1,0 +1,16 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"obfusmem/internal/analysis/analysistest"
+	"obfusmem/internal/analysis/passes/metricnames"
+)
+
+func TestConsumers(t *testing.T) {
+	analysistest.Run(t, "metricnames", "obfusmem/lint/metricnames", metricnames.Analyzer)
+}
+
+func TestRegistryGrammar(t *testing.T) {
+	analysistest.Run(t, "names", "obfusmem/lint/names", metricnames.Analyzer)
+}

@@ -1,0 +1,21 @@
+// Golden registry package: inside a names package the analyzer audits the
+// dotted-lowercase grammar of every Name-typed constant instead of
+// restricting construction.
+package names
+
+type Name string
+
+const (
+	GoodPlain  Name = "events_fired"
+	GoodDotted Name = "bus.ch0.req_busy_ps"
+	GoodLegs   Name = "cmd+data+mac"
+	GoodDash   Name = "row-hit"
+
+	BadUpper   Name = "EventsFired"  // want "dotted-lowercase"
+	BadSpace   Name = "events fired" // want "dotted-lowercase"
+	BadTrailer Name = "events."      // want "dotted-lowercase"
+	BadEmpty   Name = ""             // want "dotted-lowercase"
+)
+
+// Untyped string constants are not registered names and are out of scope.
+const notAName = "Whatever"

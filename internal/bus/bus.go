@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"obfusmem/internal/metrics"
+	"obfusmem/internal/names"
 	"obfusmem/internal/sim"
 	"obfusmem/internal/trace"
 )
@@ -245,16 +246,16 @@ func New(cfg Config) *Bus {
 	for i := 0; i < cfg.Channels; i++ {
 		b.req[i] = sim.NewResource(fmt.Sprintf("ch%d-req", i))
 		b.resp[i] = sim.NewResource(fmt.Sprintf("ch%d-resp", i))
-		if sc := cfg.Metrics.Scope(fmt.Sprintf("bus.ch%d", i)); sc != nil {
+		if sc := cfg.Metrics.Scope(names.PerChannel(names.ScopeBus, i)); sc != nil {
 			b.met[i] = chanMetrics{
-				cmdPackets:     sc.Counter("cmd_packets"),
-				readPackets:    sc.Counter("read_packets"),
-				writePackets:   sc.Counter("write_packets"),
-				dummyPackets:   sc.Counter("dummy_packets"),
-				controlPackets: sc.Counter("control_packets"),
-				bytes:          sc.Counter("bytes"),
-				reqBusyPS:      sc.Counter("req_busy_ps"),
-				respBusyPS:     sc.Counter("resp_busy_ps"),
+				cmdPackets:     sc.Counter(names.BusCmdPackets),
+				readPackets:    sc.Counter(names.BusReadPackets),
+				writePackets:   sc.Counter(names.BusWritePackets),
+				dummyPackets:   sc.Counter(names.BusDummyPackets),
+				controlPackets: sc.Counter(names.BusControlPackets),
+				bytes:          sc.Counter(names.BusBytes),
+				reqBusyPS:      sc.Counter(names.BusReqBusyPS),
+				respBusyPS:     sc.Counter(names.BusRespBusyPS),
 			}
 		}
 	}
@@ -341,7 +342,7 @@ func (b *Bus) Transfer(at sim.Time, p *Packet) (arrive sim.Time, delivered *Pack
 		}
 		pid := trace.ChannelPID(p.Channel)
 		if start > at {
-			b.tr.Span(pid, tid, trace.CatQueue, "link-wait", at, start)
+			b.tr.Span(pid, tid, trace.CatQueue, names.SpanLinkWait, at, start)
 		}
 		b.tr.Span(pid, tid, trace.CatBus, legName(p), start,
 			start+hold+b.cfg.PropagationDelay,
@@ -368,7 +369,7 @@ func (b *Bus) Transfer(at sim.Time, p *Packet) (arrive sim.Time, delivered *Pack
 					tid = "resp-link"
 				}
 				b.tr.Span(trace.ChannelPID(p.Channel), tid, trace.CatBus,
-					"fault-stall", arrive, arrive+stall)
+					names.SpanFaultStall, arrive, arrive+stall)
 			}
 			arrive += stall
 		}
@@ -376,28 +377,40 @@ func (b *Bus) Transfer(at sim.Time, p *Packet) (arrive sim.Time, delivered *Pack
 	return arrive, out
 }
 
+// legNames maps a packet's wire composition — bit 0 cmd, bit 1 data,
+// bit 2 mac — to its registered span name.
+var legNames = [8]names.Name{
+	names.LegNone, names.LegCmd, names.LegData, names.LegCmdData,
+	names.LegMAC, names.LegCmdMAC, names.LegDataMAC, names.LegCmdDataMAC,
+}
+
+// controlNames maps ControlKind to its registered span name.
+var controlNames = [...]names.Name{
+	ControlNone:       names.ControlNone,
+	ControlNACK:       names.ControlNACK,
+	ControlResyncReq:  names.ControlResyncReq,
+	ControlResyncResp: names.ControlResyncResp,
+}
+
 // legName describes the wire composition of a packet for its trace span:
 // which legs (cmd, data, mac) it carries and whether it is a dummy.
-func legName(p *Packet) string {
+func legName(p *Packet) names.Name {
 	if p.Control != ControlNone {
-		return p.Control.String()
+		return controlNames[p.Control]
 	}
-	name := ""
+	idx := 0
 	if p.HasCmd {
-		name = "cmd"
+		idx |= 1
 	}
 	if p.Data != nil {
-		if name != "" {
-			name += "+data"
-		} else {
-			name = "data"
-		}
+		idx |= 2
 	}
 	if p.HasMAC {
-		name += "+mac"
+		idx |= 4
 	}
+	name := legNames[idx]
 	if p.IsDummy {
-		name += " (dummy)"
+		name = names.Dummy(name)
 	}
 	return name
 }

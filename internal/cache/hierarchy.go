@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"obfusmem/internal/names"
 	"obfusmem/internal/sim"
 	"obfusmem/internal/trace"
 )
@@ -229,7 +230,7 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) AccessResult {
 
 // hitNames labels AccessAt trace spans by resolution level (index matches
 // AccessResult.HitLevel).
-var hitNames = [5]string{"", "L1-hit", "L2-hit", "L3-hit", "llc-miss"}
+var hitNames = [5]names.Name{1: names.SpanL1Hit, 2: names.SpanL2Hit, 3: names.SpanL3Hit, 4: names.SpanLLCMiss}
 
 // AccessAt is Access with a wall-clock anchor: identical cache behaviour,
 // plus one trace span per lookup covering the on-chip latency when a

@@ -13,6 +13,7 @@ package cpu
 import (
 	"sort"
 
+	"obfusmem/internal/names"
 	"obfusmem/internal/sim"
 	"obfusmem/internal/trace"
 	"obfusmem/internal/workload"
@@ -135,13 +136,13 @@ func drive(name string, stream requestSource, n int, sys MemorySystem, cfg Confi
 				}
 				pendingWrites = pendingWrites[1:]
 			}
-			id := cfg.Trace.BeginRequest("write", req.Addr, now)
+			id := cfg.Trace.BeginRequest(names.ReqWrite, req.Addr, now)
 			done := sys.Write(now, req.Addr)
 			cfg.Trace.EndRequest(id, done)
 			pendingWrites = insertSorted(pendingWrites, done)
 		} else {
 			res.Reads++
-			id := cfg.Trace.BeginRequest("read", req.Addr, now)
+			id := cfg.Trace.BeginRequest(names.ReqRead, req.Addr, now)
 			done := sys.Read(now, req.Addr)
 			cfg.Trace.EndRequest(id, done)
 			lat := done - now

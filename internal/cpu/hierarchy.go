@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"obfusmem/internal/cache"
+	"obfusmem/internal/names"
 	"obfusmem/internal/sim"
 	"obfusmem/internal/workload"
 	"obfusmem/internal/xrand"
@@ -112,7 +113,7 @@ func RunHierarchy(w HierarchyWorkload, nPerCore int, h *cache.Hierarchy, sys Mem
 				now[core] += ar.Latency
 				for _, m := range ar.MemAccesses {
 					if m.Demand {
-						id := cfg.Trace.BeginRequest("read", m.Addr, now[core])
+						id := cfg.Trace.BeginRequest(names.ReqRead, m.Addr, now[core])
 						done := sys.Read(now[core], m.Addr)
 						cfg.Trace.EndRequest(id, done)
 						lat := done - now[core]
@@ -121,7 +122,7 @@ func RunHierarchy(w HierarchyWorkload, nPerCore int, h *cache.Hierarchy, sys Mem
 						}
 					} else if m.Write {
 						res.Writebacks++
-						id := cfg.Trace.BeginRequest("write", m.Addr, now[core])
+						id := cfg.Trace.BeginRequest(names.ReqWrite, m.Addr, now[core])
 						done := sys.Write(now[core], m.Addr)
 						cfg.Trace.EndRequest(id, done)
 					}

@@ -13,6 +13,7 @@ import (
 
 	"obfusmem/internal/bus"
 	"obfusmem/internal/metrics"
+	"obfusmem/internal/names"
 	"obfusmem/internal/sim"
 	"obfusmem/internal/xrand"
 )
@@ -133,14 +134,14 @@ func New(cfg Config, channels int, reg *metrics.Registry) *Injector {
 	for ch := range in.rngs {
 		in.rngs[ch] = root.Fork(uint64(ch))
 	}
-	if sc := reg.Scope("fault"); sc != nil {
+	if sc := reg.Scope(names.ScopeFault); sc != nil {
 		in.met = faultMetrics{
-			losses:    sc.Counter("losses"),
-			cmdFlips:  sc.Counter("cmd_flips"),
-			dataFlips: sc.Counter("data_flips"),
-			macFlips:  sc.Counter("mac_flips"),
-			stalls:    sc.Counter("stalls"),
-			stallPS:   sc.Counter("stall_ps"),
+			losses:    sc.Counter(names.FaultLosses),
+			cmdFlips:  sc.Counter(names.FaultCmdFlips),
+			dataFlips: sc.Counter(names.FaultDataFlips),
+			macFlips:  sc.Counter(names.FaultMACFlips),
+			stalls:    sc.Counter(names.FaultStalls),
+			stallPS:   sc.Counter(names.FaultStallPS),
 		}
 	}
 	return in

@@ -17,6 +17,7 @@ import (
 	"math/bits"
 
 	"obfusmem/internal/metrics"
+	"obfusmem/internal/names"
 	"obfusmem/internal/pcm"
 	"obfusmem/internal/sim"
 	"obfusmem/internal/trace"
@@ -165,19 +166,19 @@ func New(cfg Config) *Controller {
 	c.met = make([]chanMetrics, cfg.Channels)
 	for i := range c.devices {
 		pc := cfg.PCM
-		pc.Metrics = cfg.Metrics.Scope(fmt.Sprintf("pcm.ch%d", i))
+		pc.Metrics = cfg.Metrics.Scope(names.PerChannel(names.ScopePCM, i))
 		pc.Trace = cfg.Trace
 		pc.Channel = i
 		c.devices[i] = pcm.New(pc)
-		if sc := cfg.Metrics.Scope(fmt.Sprintf("memctl.ch%d", i)); sc != nil {
+		if sc := cfg.Metrics.Scope(names.PerChannel(names.ScopeMemctl, i)); sc != nil {
 			c.met[i] = chanMetrics{
-				reads:          sc.Counter("reads"),
-				writes:         sc.Counter("writes"),
-				droppedDummies: sc.Counter("dropped_dummies"),
+				reads:          sc.Counter(names.MemctlReads),
+				writes:         sc.Counter(names.MemctlWrites),
+				droppedDummies: sc.Counter(names.MemctlDroppedDummies),
 			}
 		}
 	}
-	c.metMigr = cfg.Metrics.Scope("memctl").Counter("wear_migrations")
+	c.metMigr = cfg.Metrics.Scope(names.ScopeMemctl).Counter(names.MemctlWearMigrations)
 	if cfg.WearLevel {
 		capacity := int64(cfg.CapacityGB) << 30
 		if capacity <= 0 {
@@ -247,7 +248,7 @@ func (c *Controller) Access(at sim.Time, addr uint64, write bool) sim.Time {
 	}
 	if c.tr != nil {
 		// Channel pick: the RoRaBaChCo decode routing this request.
-		c.tr.Instant(trace.ChannelPID(co.Channel), "ctl", "decode", at,
+		c.tr.Instant(trace.ChannelPID(co.Channel), "ctl", names.SpanDecode, at,
 			trace.A("rank", co.Rank), trace.A("bank", co.Bank),
 			trace.A("row", co.Row), trace.A("write", write))
 	}
@@ -264,7 +265,7 @@ func (c *Controller) Access(at sim.Time, addr uint64, write bool) sim.Time {
 				c.metMigr.Inc()
 				if c.tr != nil {
 					c.tr.Instant(trace.ChannelPID(co.Channel), "ctl",
-						"wear-migration", at, trace.A("src_row", src))
+						names.SpanWearMigration, at, trace.A("src_row", src))
 				}
 				dev := c.devices[co.Channel]
 				done := dev.Access(at, co.Rank, co.Bank, int64(src), false)
@@ -292,7 +293,7 @@ func (c *Controller) AccessOnChannel(at sim.Time, channel int, addr uint64, writ
 func (c *Controller) DropDummy(at sim.Time, channel int) {
 	c.stats[channel].DroppedDummies++
 	c.met[channel].droppedDummies.Inc()
-	c.tr.Instant(trace.ChannelPID(channel), "ctl", "dummy-dropped", at)
+	c.tr.Instant(trace.ChannelPID(channel), "ctl", names.SpanDummyDropped, at)
 }
 
 // Stats returns a copy of the per-channel counters.

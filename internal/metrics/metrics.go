@@ -23,6 +23,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"obfusmem/internal/names"
 )
 
 // Counter is a monotonically increasing uint64.
@@ -31,6 +33,8 @@ type Counter struct {
 }
 
 // Add increments the counter by n. No-op on a nil counter.
+//
+//obfus:hotpath
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -39,6 +43,8 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Inc increments the counter by one. No-op on a nil counter.
+//
+//obfus:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count (zero for nil).
@@ -55,6 +61,8 @@ type Gauge struct {
 }
 
 // Set stores v. No-op on a nil gauge.
+//
+//obfus:hotpath
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -63,6 +71,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // SetMax raises the gauge to v if v exceeds the current value.
+//
+//obfus:hotpath
 func (g *Gauge) SetMax(v float64) {
 	if g == nil {
 		return
@@ -114,6 +124,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value. No-op on a nil histogram.
+//
+//obfus:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -184,22 +196,25 @@ func NewRegistry() *Registry {
 }
 
 // Scope returns a view whose instrument names are prefixed with name + ".".
-func (r *Registry) Scope(name string) *Registry {
+// Names come from the internal/names registry (enforced by the obfuslint
+// metricnames analyzer), so the fully-qualified dotted name of every
+// instrument is discoverable from that one package.
+func (r *Registry) Scope(name names.Name) *Registry {
 	if r == nil {
 		return nil
 	}
-	return &Registry{data: r.data, prefix: r.prefix + name + "."}
+	return &Registry{data: r.data, prefix: r.prefix + string(name) + "."}
 }
 
 // Counter returns the named counter, creating it on first use. Two lookups
 // of the same fully-qualified name return the same instrument, so scopes
 // that collide aggregate rather than clobber.
-func (r *Registry) Counter(name string) *Counter {
+func (r *Registry) Counter(name names.Name) *Counter {
 	if r == nil {
 		return nil
 	}
 	d := r.data
-	full := r.prefix + name
+	full := r.prefix + string(name)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	c, ok := d.counters[full]
@@ -211,12 +226,12 @@ func (r *Registry) Counter(name string) *Counter {
 }
 
 // Gauge returns the named gauge, creating it on first use.
-func (r *Registry) Gauge(name string) *Gauge {
+func (r *Registry) Gauge(name names.Name) *Gauge {
 	if r == nil {
 		return nil
 	}
 	d := r.data
-	full := r.prefix + name
+	full := r.prefix + string(name)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	g, ok := d.gauges[full]
@@ -229,12 +244,12 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns the named histogram, creating it with the given bucket
 // upper bounds on first use (later bounds are ignored: first writer wins).
-func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+func (r *Registry) Histogram(name names.Name, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
 	d := r.data
-	full := r.prefix + name
+	full := r.prefix + string(name)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	h, ok := d.histograms[full]
@@ -277,13 +292,18 @@ func (r *Registry) Snapshot() Snapshot {
 	d := r.data
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for name, c := range d.counters {
-		s.Counters[name] = c.Value()
+	// Iterate in sorted-name order. The JSON encoder re-sorts map keys
+	// anyway, but walking the store deterministically means every consumer
+	// of Snapshot — not only WriteJSON — observes one canonical order, and
+	// the obfuslint determinism analyzer can verify it locally.
+	for _, name := range sortedKeys(d.counters) {
+		s.Counters[name] = d.counters[name].Value()
 	}
-	for name, g := range d.gauges {
-		s.Gauges[name] = g.Value()
+	for _, name := range sortedKeys(d.gauges) {
+		s.Gauges[name] = d.gauges[name].Value()
 	}
-	for name, h := range d.histograms {
+	for _, name := range sortedKeys(d.histograms) {
+		h := d.histograms[name]
 		hs := HistogramSnapshot{
 			Bounds: append([]float64(nil), h.bounds...),
 			Counts: make([]uint64, len(h.counts)),
@@ -301,6 +321,16 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[name] = hs
 	}
 	return s
+}
+
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // WriteJSON writes the snapshot as indented JSON with sorted keys (the

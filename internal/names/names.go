@@ -1,0 +1,187 @@
+// Package names is the central registry of metric and trace-span names.
+//
+// Every instrument registered with internal/metrics and every span recorded
+// through internal/trace takes its name from a constant declared here, so
+// dashboards, the attribution sweep, and downstream trace tooling have one
+// place to look and names cannot drift between components. The obfuslint
+// `metricnames` analyzer enforces this at build time: a string literal (or a
+// Name conversion of a non-constant) at a name position is a lint error
+// outside this package.
+//
+// The naming convention is dotted lowercase: dot-separated segments of
+// [a-z0-9] runs joined by '_', '-', or '+' (the bus uses '+' to describe
+// packed wire legs, e.g. "cmd+data+mac"). The analyzer checks every
+// constant declared here against that grammar, so the registry itself
+// cannot rot either.
+package names
+
+import "strconv"
+
+// Name is a registered metric, scope, or span name. The underlying type is
+// string so untyped constants convert freely; the metricnames analyzer —
+// not the type system — is what confines construction to this package.
+type Name string
+
+// String returns the name as a plain string.
+func (n Name) String() string { return string(n) }
+
+// PerChannel derives the per-channel scope "base.ch<i>" (e.g. "bus.ch0").
+func PerChannel(base Name, ch int) Name {
+	return base + Name(".ch"+strconv.Itoa(ch))
+}
+
+// Dummy marks a span name as describing dummy (obfuscation) traffic.
+func Dummy(n Name) Name { return n + ".dummy" }
+
+// Metric scopes, one per instrumented component.
+const (
+	ScopeSim    Name = "sim"
+	ScopeBus    Name = "bus"
+	ScopeFault  Name = "fault"
+	ScopeObfus  Name = "obfus"
+	ScopeMemctl Name = "memctl"
+	ScopePCM    Name = "pcm"
+)
+
+// Simulation-engine metrics (internal/sim).
+const (
+	SimEventsFired     Name = "events_fired"
+	SimEventsCancelled Name = "events_cancelled"
+	SimNowNS           Name = "now_ns"
+	SimEventsPerWallS  Name = "events_per_wallsec"
+	SimNSPerWallS      Name = "sim_ns_per_wallsec"
+)
+
+// Bus per-channel metrics (internal/bus, scope "bus.ch<i>").
+const (
+	BusCmdPackets     Name = "cmd_packets"
+	BusReadPackets    Name = "read_packets"
+	BusWritePackets   Name = "write_packets"
+	BusDummyPackets   Name = "dummy_packets"
+	BusControlPackets Name = "control_packets"
+	BusBytes          Name = "bytes"
+	BusReqBusyPS      Name = "req_busy_ps"
+	BusRespBusyPS     Name = "resp_busy_ps"
+)
+
+// Fault-injector metrics (internal/fault).
+const (
+	FaultLosses    Name = "losses"
+	FaultCmdFlips  Name = "cmd_flips"
+	FaultDataFlips Name = "data_flips"
+	FaultMACFlips  Name = "mac_flips"
+	FaultStalls    Name = "stalls"
+	FaultStallPS   Name = "stall_ps"
+)
+
+// ObfusMem controller metrics (internal/obfus).
+const (
+	ObfusRealReads         Name = "real_reads"
+	ObfusRealWrites        Name = "real_writes"
+	ObfusDummyReads        Name = "dummy_reads"
+	ObfusDummyWrites       Name = "dummy_writes"
+	ObfusInterChannelPairs Name = "inter_channel_pairs"
+	ObfusSubstitutedPairs  Name = "substituted_pairs"
+	ObfusDroppedAtMemory   Name = "dropped_at_memory"
+	ObfusIdleEpochFills    Name = "idle_epoch_fills"
+	ObfusMACsComputed      Name = "macs_computed"
+	ObfusTamperDetected    Name = "tamper_detected"
+	ObfusRetransmits       Name = "retransmits"
+	ObfusNACKsSent         Name = "nacks_sent"
+	ObfusResyncs           Name = "resyncs"
+	ObfusRecovered         Name = "recovered"
+	ObfusQuarantines       Name = "quarantines"
+	ObfusMACSlackNS        Name = "mac_slack_ns"
+	ObfusRecoveryNS        Name = "recovery_latency_ns"
+)
+
+// Memory-controller metrics (internal/memctl, scope "memctl.ch<i>").
+const (
+	MemctlReads          Name = "reads"
+	MemctlWrites         Name = "writes"
+	MemctlDroppedDummies Name = "dropped_dummies"
+	MemctlWearMigrations Name = "wear_migrations"
+)
+
+// PCM device metrics (internal/pcm, scope "pcm.ch<i>").
+const (
+	PCMRowHits       Name = "row_hits"
+	PCMRowMisses     Name = "row_misses"
+	PCMBankConflicts Name = "bank_conflicts"
+	PCMArrayWrites   Name = "array_writes"
+	PCMRefreshStalls Name = "refresh_stalls"
+	PCMAccessNS      Name = "access_ns"
+	PCMBankWaitNS    Name = "bank_wait_ns"
+	PCMMaxWear       Name = "max_wear"
+)
+
+// Request-envelope kinds (trace.BeginRequest).
+const (
+	ReqRead  Name = "read"
+	ReqWrite Name = "write"
+)
+
+// Bus spans. The leg names describe a packet's wire composition; control
+// packets reuse the ControlKind names below.
+const (
+	SpanLinkWait   Name = "link-wait"
+	SpanFaultStall Name = "fault-stall"
+
+	LegCmd        Name = "cmd"
+	LegData       Name = "data"
+	LegMAC        Name = "mac"
+	LegCmdData    Name = "cmd+data"
+	LegCmdMAC     Name = "cmd+mac"
+	LegDataMAC    Name = "data+mac"
+	LegCmdDataMAC Name = "cmd+data+mac"
+	LegNone       Name = "empty"
+
+	ControlNone       Name = "none"
+	ControlNACK       Name = "nack"
+	ControlResyncReq  Name = "resync-req"
+	ControlResyncResp Name = "resync-resp"
+)
+
+// ObfusMem controller and recovery spans (internal/obfus).
+const (
+	SpanFrontendWait   Name = "frontend-wait"
+	SpanFrontend       Name = "frontend"
+	SpanEncryptPads    Name = "encrypt-pads"
+	SpanMACRequest     Name = "mac-request"
+	SpanMemDecode      Name = "mem-decode"
+	SpanTamperDetected Name = "tamper-detected"
+	SpanReplyEncrypt   Name = "reply-encrypt"
+	SpanReplyDecode    Name = "reply-decode"
+	SpanSubstituteReal Name = "substitute-real"
+
+	SpanNACK         Name = "nack"
+	SpanRetryTimer   Name = "retry-timer"
+	SpanResyncTimer  Name = "resync-timer"
+	SpanCtrResync    Name = "ctr-resync"
+	SpanRetryBackoff Name = "retry-backoff"
+	SpanRecovered    Name = "recovered"
+	SpanQuarantine   Name = "quarantine"
+)
+
+// Cache-hierarchy spans (internal/cache).
+const (
+	SpanL1Hit   Name = "l1-hit"
+	SpanL2Hit   Name = "l2-hit"
+	SpanL3Hit   Name = "l3-hit"
+	SpanLLCMiss Name = "llc-miss"
+)
+
+// Memory-controller spans (internal/memctl).
+const (
+	SpanDecode        Name = "decode"
+	SpanWearMigration Name = "wear-migration"
+	SpanDummyDropped  Name = "dummy-dropped"
+)
+
+// PCM spans (internal/pcm).
+const (
+	SpanBankWait    Name = "bank-wait"
+	SpanRowHit      Name = "row-hit"
+	SpanRowMiss     Name = "row-miss"
+	SpanRowConflict Name = "row-conflict"
+)

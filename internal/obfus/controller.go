@@ -10,6 +10,7 @@ import (
 	"obfusmem/internal/md5sim"
 	"obfusmem/internal/memctl"
 	"obfusmem/internal/metrics"
+	"obfusmem/internal/names"
 	"obfusmem/internal/sim"
 	"obfusmem/internal/trace"
 	"obfusmem/internal/xrand"
@@ -49,28 +50,28 @@ type ctrlMetrics struct {
 }
 
 func newCtrlMetrics(r *metrics.Registry) ctrlMetrics {
-	sc := r.Scope("obfus")
+	sc := r.Scope(names.ScopeObfus)
 	if sc == nil {
 		return ctrlMetrics{}
 	}
 	return ctrlMetrics{
-		realReads:         sc.Counter("real_reads"),
-		realWrites:        sc.Counter("real_writes"),
-		dummyReads:        sc.Counter("dummy_reads"),
-		dummyWrites:       sc.Counter("dummy_writes"),
-		interChannelPairs: sc.Counter("inter_channel_pairs"),
-		substitutedPairs:  sc.Counter("substituted_pairs"),
-		droppedAtMemory:   sc.Counter("dropped_at_memory"),
-		idleEpochFills:    sc.Counter("idle_epoch_fills"),
-		macsComputed:      sc.Counter("macs_computed"),
-		tamperDetected:    sc.Counter("tamper_detected"),
-		retransmits:       sc.Counter("retransmits"),
-		nacksSent:         sc.Counter("nacks_sent"),
-		resyncs:           sc.Counter("resyncs"),
-		recovered:         sc.Counter("recovered"),
-		quarantines:       sc.Counter("quarantines"),
-		macSlackNS:        sc.Histogram("mac_slack_ns", macSlackBucketsNS),
-		recoveryNS:        sc.Histogram("recovery_latency_ns", recoveryLatencyBucketsNS),
+		realReads:         sc.Counter(names.ObfusRealReads),
+		realWrites:        sc.Counter(names.ObfusRealWrites),
+		dummyReads:        sc.Counter(names.ObfusDummyReads),
+		dummyWrites:       sc.Counter(names.ObfusDummyWrites),
+		interChannelPairs: sc.Counter(names.ObfusInterChannelPairs),
+		substitutedPairs:  sc.Counter(names.ObfusSubstitutedPairs),
+		droppedAtMemory:   sc.Counter(names.ObfusDroppedAtMemory),
+		idleEpochFills:    sc.Counter(names.ObfusIdleEpochFills),
+		macsComputed:      sc.Counter(names.ObfusMACsComputed),
+		tamperDetected:    sc.Counter(names.ObfusTamperDetected),
+		retransmits:       sc.Counter(names.ObfusRetransmits),
+		nacksSent:         sc.Counter(names.ObfusNACKsSent),
+		resyncs:           sc.Counter(names.ObfusResyncs),
+		recovered:         sc.Counter(names.ObfusRecovered),
+		quarantines:       sc.Counter(names.ObfusQuarantines),
+		macSlackNS:        sc.Histogram(names.ObfusMACSlackNS, macSlackBucketsNS),
+		recoveryNS:        sc.Histogram(names.ObfusRecoveryNS, recoveryLatencyBucketsNS),
 	}
 }
 
@@ -91,9 +92,9 @@ func (c *Controller) acquireFrontEnd(at sim.Time) sim.Time {
 	start := c.frontEnd.Acquire(at, FrontEndTime)
 	if c.tr != nil {
 		if start > at {
-			c.tr.Span(trace.PIDCPU, "frontend", trace.CatQueue, "frontend-wait", at, start)
+			c.tr.Span(trace.PIDCPU, "frontend", trace.CatQueue, names.SpanFrontendWait, at, start)
 		}
-		c.tr.Span(trace.PIDCPU, "frontend", trace.CatOther, "frontend", start, start+FrontEndTime)
+		c.tr.Span(trace.PIDCPU, "frontend", trace.CatOther, names.SpanFrontend, start, start+FrontEndTime)
 	}
 	return start + FrontEndTime
 }
@@ -114,10 +115,10 @@ func (c *Controller) requestCrypto(cs *chanState, ch int, at sim.Time, pads int,
 	}
 	if c.tr != nil {
 		pid := trace.ChannelPID(ch)
-		c.tr.Span(pid, "proc-aes", trace.CatCrypto, "encrypt-pads", at, encReady,
+		c.tr.Span(pid, "proc-aes", trace.CatCrypto, names.SpanEncryptPads, at, encReady,
 			trace.A("pads", pads))
 		if c.cfg.MAC != MACNone {
-			c.tr.Span(pid, "proc-md5", trace.CatCrypto, "mac-request", at, sendReady,
+			c.tr.Span(pid, "proc-md5", trace.CatCrypto, names.SpanMACRequest, at, sendReady,
 				trace.A("slack_ns", (sendReady-encReady).Float64Nanos()))
 		}
 	}
@@ -579,7 +580,7 @@ func (c *Controller) memDecodeSlot(cs *chanState, ch int, arrive sim.Time, deliv
 	decodeDone = pregenReady(cs.memReqEng, arrive, 1) + SerDesLatency
 	t, addr = openCmd(delivered.CmdCipher, pad)
 	if c.tr != nil {
-		c.tr.Span(trace.ChannelPID(ch), "mem-aes", trace.CatCrypto, "mem-decode",
+		c.tr.Span(trace.ChannelPID(ch), "mem-aes", trace.CatCrypto, names.SpanMemDecode,
 			arrive, decodeDone, trace.A("ctr", ctr), trace.A("dummy", delivered.IsDummy))
 	}
 	if c.cfg.MAC != MACNone {
@@ -588,7 +589,7 @@ func (c *Controller) memDecodeSlot(cs *chanState, ch int, arrive sim.Time, deliv
 		if expect != delivered.MAC {
 			c.stats.TamperDetected++
 			c.met.tamperDetected.Inc()
-			c.tr.Instant(trace.ChannelPID(ch), "mem-aes", "tamper-detected", decodeDone)
+			c.tr.Instant(trace.ChannelPID(ch), "mem-aes", names.SpanTamperDetected, decodeDone)
 			return t, addr, decodeDone, false
 		}
 	} else if t != delivered.Type || addr != delivered.Addr {
@@ -640,7 +641,7 @@ func (c *Controller) replyData(cs *chanState, ch int, readyAt sim.Time, forDummy
 		sendReady = macReplyReady(cs.memMAC, c.cfg.MAC, decodeAt, sendReady)
 	}
 	if c.tr != nil && sendReady > readyAt {
-		c.tr.Span(trace.ChannelPID(ch), "mem-aes", trace.CatCrypto, "reply-encrypt",
+		c.tr.Span(trace.ChannelPID(ch), "mem-aes", trace.CatCrypto, names.SpanReplyEncrypt,
 			readyAt, sendReady, trace.A("dummy", forDummy))
 	}
 	arrive, delivered := c.bus.Transfer(sendReady, pkt)
@@ -655,7 +656,7 @@ func (c *Controller) replyData(cs *chanState, ch int, readyAt sim.Time, forDummy
 	// Processor-side transit decryption (pre-generated pads) and MAC check.
 	done := pregenReady(cs.procRespEng, arrive, 4) + SerDesLatency
 	if c.tr != nil {
-		c.tr.Span(trace.ChannelPID(ch), "proc-aes", trace.CatCrypto, "reply-decode",
+		c.tr.Span(trace.ChannelPID(ch), "proc-aes", trace.CatCrypto, names.SpanReplyDecode,
 			arrive, done)
 	}
 	ctr := cs.procRespCtr
@@ -669,7 +670,7 @@ func (c *Controller) replyData(cs *chanState, ch int, readyAt sim.Time, forDummy
 		if expect != delivered.MAC || ctr != delivered.Counter {
 			c.stats.TamperDetected++
 			c.met.tamperDetected.Inc()
-			c.tr.Instant(trace.PIDCPU, "proc-aes", "tamper-detected", done)
+			c.tr.Instant(trace.PIDCPU, "proc-aes", names.SpanTamperDetected, done)
 			return done, false
 		}
 	}

@@ -3,6 +3,7 @@ package obfus
 import (
 	"obfusmem/internal/bus"
 	"obfusmem/internal/memctl"
+	"obfusmem/internal/names"
 	"obfusmem/internal/sim"
 	"obfusmem/internal/trace"
 )
@@ -47,7 +48,7 @@ func (c *Controller) Read(at sim.Time, addr uint64) (done sim.Time, ok bool) {
 		c.stats.SubstitutedPairs++
 		c.met.substitutedPairs.Inc()
 		if c.tr != nil {
-			c.tr.Instant(trace.PIDCPU, "frontend", "substitute-real", at,
+			c.tr.Instant(trace.PIDCPU, "frontend", names.SpanSubstituteReal, at,
 				trace.A("write_addr", w.addr))
 		}
 	}
@@ -170,7 +171,7 @@ func (c *Controller) processHalf(cs *chanState, ch int, padBase uint64, h half, 
 					failAt = done + c.retryTimeout()
 					if c.tr != nil {
 						c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue,
-							"retry-timer", done, failAt)
+							names.SpanRetryTimer, done, failAt)
 					}
 				}
 				return c.retryLeg(cs, ch, h, failAt)
@@ -326,7 +327,7 @@ func (c *Controller) symmetricRequest(cs *chanState, ch int, at sim.Time, t bus.
 				failAt = done + c.retryTimeout()
 				if c.tr != nil {
 					c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue,
-						"retry-timer", done, failAt)
+						names.SpanRetryTimer, done, failAt)
 				}
 			}
 			return c.retryLeg(cs, ch, h, failAt)

@@ -22,6 +22,7 @@ import (
 
 	"obfusmem/internal/bus"
 	"obfusmem/internal/md5sim"
+	"obfusmem/internal/names"
 	"obfusmem/internal/sim"
 	"obfusmem/internal/trace"
 )
@@ -175,7 +176,7 @@ func (c *Controller) sendNACK(cs *chanState, ch int, at sim.Time) (done sim.Time
 	}
 	done = arrive + SerDesLatency
 	cs.procVerMAC.Issue(arrive)
-	c.tr.Instant(trace.ChannelPID(ch), "recovery", "nack", done)
+	c.tr.Instant(trace.ChannelPID(ch), "recovery", names.SpanNACK, done)
 	return done, true
 }
 
@@ -190,7 +191,7 @@ func (c *Controller) requestFailAt(cs *chanState, ch int, arrive sim.Time, deliv
 	}
 	at := arrive + c.retryTimeout()
 	if c.tr != nil {
-		c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue, "retry-timer", arrive, at)
+		c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue, names.SpanRetryTimer, arrive, at)
 	}
 	return at
 }
@@ -212,7 +213,7 @@ func (c *Controller) resync(cs *chanState, ch int, at sim.Time) (done sim.Time, 
 		c.stats.ResyncFailures++
 		fail := arrive + c.retryTimeout()
 		if c.tr != nil {
-			c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue, "resync-timer", arrive, fail)
+			c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue, names.SpanResyncTimer, arrive, fail)
 		}
 		return fail, false
 	}
@@ -227,7 +228,7 @@ func (c *Controller) resync(cs *chanState, ch int, at sim.Time) (done sim.Time, 
 		c.stats.ResyncFailures++
 		fail := ackArrive + c.retryTimeout()
 		if c.tr != nil {
-			c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue, "resync-timer", ackArrive, fail)
+			c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue, names.SpanResyncTimer, ackArrive, fail)
 		}
 		return fail, false
 	}
@@ -241,7 +242,7 @@ func (c *Controller) resync(cs *chanState, ch int, at sim.Time) (done sim.Time, 
 	c.stats.Resyncs++
 	c.met.resyncs.Inc()
 	if c.tr != nil {
-		c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatCrypto, "ctr-resync", begin, done)
+		c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatCrypto, names.SpanCtrResync, begin, done)
 	}
 	return done, true
 }
@@ -257,7 +258,7 @@ func (c *Controller) retryLeg(cs *chanState, ch int, h half, failAt sim.Time) (d
 	for attempt := 1; attempt <= budget; attempt++ {
 		at := failAt + c.retryBackoff(attempt)
 		if c.tr != nil {
-			c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue, "retry-backoff", failAt, at,
+			c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue, names.SpanRetryBackoff, failAt, at,
 				trace.A("attempt", attempt))
 		}
 		rdone, rok := c.resync(cs, ch, at)
@@ -283,7 +284,7 @@ func (c *Controller) retryLeg(cs *chanState, ch int, h half, failAt sim.Time) (d
 			c.stats.RequestsLost++
 			failAt = arrive + c.retryTimeout()
 			if c.tr != nil {
-				c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue, "retry-timer", arrive, failAt)
+				c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue, names.SpanRetryTimer, arrive, failAt)
 			}
 			continue
 		}
@@ -303,7 +304,7 @@ func (c *Controller) retryLeg(cs *chanState, ch int, h half, failAt sim.Time) (d
 			if c.lastReplyLost {
 				failAt = done + c.retryTimeout()
 				if c.tr != nil {
-					c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue, "retry-timer", done, failAt)
+					c.tr.Span(trace.ChannelPID(ch), "recovery", trace.CatQueue, names.SpanRetryTimer, done, failAt)
 				}
 			}
 			continue
@@ -311,7 +312,7 @@ func (c *Controller) retryLeg(cs *chanState, ch int, h half, failAt sim.Time) (d
 		c.stats.Recovered++
 		c.met.recovered.Inc()
 		c.met.recoveryNS.Observe((done - firstFail).Float64Nanos())
-		c.tr.Instant(trace.ChannelPID(ch), "recovery", "recovered", done,
+		c.tr.Instant(trace.ChannelPID(ch), "recovery", names.SpanRecovered, done,
 			trace.A("attempt", attempt))
 		return done, ok
 	}
@@ -366,7 +367,7 @@ func (c *Controller) quarantineChannel(cs *chanState, ch int, h half, at sim.Tim
 		c.stats.Quarantines++
 		c.met.quarantines.Inc()
 		c.events = append(c.events, QuarantineEvent{Channel: ch, At: at, Attempts: c.retryBudget()})
-		c.tr.Instant(trace.ChannelPID(ch), "recovery", "quarantine", at,
+		c.tr.Instant(trace.ChannelPID(ch), "recovery", names.SpanQuarantine, at,
 			trace.A("attempts", c.retryBudget()))
 	}
 	c.legFailed(h.dummy, true)

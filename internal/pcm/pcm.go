@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"obfusmem/internal/metrics"
+	"obfusmem/internal/names"
 	"obfusmem/internal/sim"
 	"obfusmem/internal/trace"
 )
@@ -146,14 +147,14 @@ func New(cfg Config) *Device {
 	}
 	if sc := cfg.Metrics; sc != nil {
 		d.met = deviceMetrics{
-			rowHits:       sc.Counter("row_hits"),
-			rowMisses:     sc.Counter("row_misses"),
-			bankConflicts: sc.Counter("bank_conflicts"),
-			arrayWrites:   sc.Counter("array_writes"),
-			refreshStalls: sc.Counter("refresh_stalls"),
-			accessNS:      sc.Histogram("access_ns", metrics.LatencyBucketsNS),
-			bankWaitNS:    sc.Histogram("bank_wait_ns", metrics.LatencyBucketsNS),
-			maxWear:       sc.Gauge("max_wear"),
+			rowHits:       sc.Counter(names.PCMRowHits),
+			rowMisses:     sc.Counter(names.PCMRowMisses),
+			bankConflicts: sc.Counter(names.PCMBankConflicts),
+			arrayWrites:   sc.Counter(names.PCMArrayWrites),
+			refreshStalls: sc.Counter(names.PCMRefreshStalls),
+			accessNS:      sc.Histogram(names.PCMAccessNS, metrics.LatencyBucketsNS),
+			bankWaitNS:    sc.Histogram(names.PCMBankWaitNS, metrics.LatencyBucketsNS),
+			maxWear:       sc.Gauge(names.PCMMaxWear),
 		}
 	}
 	return d
@@ -238,14 +239,14 @@ func (d *Device) Access(at sim.Time, rank, bankInRank int, row int64, write bool
 	}
 
 	var latency sim.Time
-	kind := "row-hit"
+	kind := names.SpanRowHit
 	switch {
 	case b.openRow == row:
 		d.stats.RowHits++
 		d.met.rowHits.Inc()
 		latency = d.timing.CAS + d.timing.Burst
 	case b.openRow < 0:
-		kind = "row-miss"
+		kind = names.SpanRowMiss
 		d.stats.RowMisses++
 		d.met.rowMisses.Inc()
 		d.stats.ArrayReads++
@@ -254,7 +255,7 @@ func (d *Device) Access(at sim.Time, rank, bankInRank int, row int64, write bool
 	default:
 		// Conflict: evict the open row (array write if dirty), then
 		// activate the new one.
-		kind = "row-conflict"
+		kind = names.SpanRowConflict
 		d.stats.RowMisses++
 		d.met.rowMisses.Inc()
 		d.met.bankConflicts.Inc()
@@ -276,7 +277,7 @@ func (d *Device) Access(at sim.Time, rank, bankInRank int, row int64, write bool
 	if d.tr != nil {
 		pid := trace.ChannelPID(d.cfg.Channel)
 		if start > reqAt {
-			d.tr.Span(pid, d.bankTID[idx], trace.CatQueue, "bank-wait", reqAt, start)
+			d.tr.Span(pid, d.bankTID[idx], trace.CatQueue, names.SpanBankWait, reqAt, start)
 		}
 		d.tr.Span(pid, d.bankTID[idx], trace.CatPCM, kind, start, start+latency,
 			trace.A("row", row), trace.A("write", write))

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"obfusmem/internal/metrics"
+	"obfusmem/internal/names"
 )
 
 // Time is a simulation timestamp in picoseconds.
@@ -147,17 +148,17 @@ func NewEngine() *Engine {
 // scope. Passing nil detaches. Safe to call on an engine mid-run only
 // between events.
 func (e *Engine) SetMetrics(r *metrics.Registry) {
-	sc := r.Scope("sim")
+	sc := r.Scope(names.ScopeSim)
 	if sc == nil {
 		e.metFired, e.metCancelled = nil, nil
 		e.metSimNow, e.metEvRate, e.metSimRate = nil, nil, nil
 		return
 	}
-	e.metFired = sc.Counter("events_fired")
-	e.metCancelled = sc.Counter("events_cancelled")
-	e.metSimNow = sc.Gauge("now_ns")
-	e.metEvRate = sc.Gauge("events_per_wallsec")
-	e.metSimRate = sc.Gauge("sim_ns_per_wallsec")
+	e.metFired = sc.Counter(names.SimEventsFired)
+	e.metCancelled = sc.Counter(names.SimEventsCancelled)
+	e.metSimNow = sc.Gauge(names.SimNowNS)
+	e.metEvRate = sc.Gauge(names.SimEventsPerWallS)
+	e.metSimRate = sc.Gauge(names.SimNSPerWallS)
 }
 
 // Now returns the current simulation time.
@@ -173,6 +174,8 @@ func (e *Engine) Pending() int { return e.live }
 // alloc takes an event from the free list, or allocates when the list is
 // empty (cold start and queue-depth growth only). Reuse bumps the
 // generation, invalidating every EventRef issued for the prior occupant.
+//
+//obfus:hotpath
 func (e *Engine) alloc() *event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
@@ -182,12 +185,15 @@ func (e *Engine) alloc() *event {
 		ev.cancel = false
 		return ev
 	}
+	//lint:allow hotpath cold start only: the free list is empty until the queue reaches steady-state depth
 	return &event{}
 }
 
 // recycle returns a fired or dequeued-cancelled event to the free list. The
 // cancel flag is left intact until reuse so existing handles keep answering
 // Cancelled() truthfully for this generation.
+//
+//obfus:hotpath
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
 	e.free = append(e.free, ev)
@@ -195,12 +201,16 @@ func (e *Engine) recycle(ev *event) {
 
 // less orders the heap by (at, seq). seq is unique, so the order is total
 // and identical to the pre-rework container/heap engine.
+//
+//obfus:hotpath
 func eventLess(a, b *event) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // push inserts ev with the sift-up loop inlined (4-ary: parent of i is
 // (i-1)/4).
+//
+//obfus:hotpath
 func (e *Engine) push(ev *event) {
 	h := append(e.heap, ev)
 	i := len(h) - 1
@@ -218,6 +228,8 @@ func (e *Engine) push(ev *event) {
 
 // pop removes and returns the minimum event, sifting the last element down
 // (4-ary: children of i are 4i+1..4i+4).
+//
+//obfus:hotpath
 func (e *Engine) pop() *event {
 	h := e.heap
 	root := h[0]
@@ -256,6 +268,8 @@ func (e *Engine) pop() *event {
 
 // Schedule runs fn at absolute time at. Scheduling in the past panics: that
 // is always a model bug.
+//
+//obfus:hotpath
 func (e *Engine) Schedule(at Time, fn func()) EventRef {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
@@ -272,6 +286,8 @@ func (e *Engine) Schedule(at Time, fn func()) EventRef {
 }
 
 // After runs fn d picoseconds from now.
+//
+//obfus:hotpath
 func (e *Engine) After(d Time, fn func()) EventRef {
 	if d < 0 {
 		panic("sim: negative delay")
@@ -288,6 +304,8 @@ func (e *Engine) After(d Time, fn func()) EventRef {
 //
 // Cancellation is lazy: the event is tombstoned in place and discarded when
 // it reaches the head of the queue, making Cancel O(1).
+//
+//obfus:hotpath
 func (e *Engine) Cancel(r EventRef) {
 	ev := r.e
 	if ev == nil || ev.gen != r.gen || ev.cancel || !ev.queued {
@@ -300,6 +318,8 @@ func (e *Engine) Cancel(r EventRef) {
 }
 
 // Step fires the next event. It reports false when the queue is empty.
+//
+//obfus:hotpath
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
 		ev := e.pop()
@@ -322,6 +342,8 @@ func (e *Engine) Step() bool {
 
 // skipCancelled drops tombstoned events from the head of the heap so that
 // peeking callers (RunUntil) see the next live event.
+//
+//obfus:hotpath
 func (e *Engine) skipCancelled() {
 	for len(e.heap) > 0 && e.heap[0].cancel {
 		ev := e.pop()
@@ -333,6 +355,11 @@ func (e *Engine) skipCancelled() {
 // Run fires events until the queue drains or Stop is called. When metrics
 // are attached it also records the wall-clock event and sim-time rates of
 // the run, the simulator's own "how fast is the hardware model" signal.
+//
+// The wall-clock reads feed throughput gauges only; simulated time is never
+// derived from them, so determinism is preserved (hence the annotation).
+//
+//obfus:wallclock
 func (e *Engine) Run() {
 	e.stopped = false
 	if e.metEvRate == nil {
@@ -349,7 +376,9 @@ func (e *Engine) Run() {
 }
 
 // recordRates publishes wall-clock-relative gauges for a completed run
-// segment.
+// segment. Wall time influences gauge values only, never simulated state.
+//
+//obfus:wallclock
 func (e *Engine) recordRates(wallStart time.Time, firedStart uint64, simStart Time) {
 	wall := time.Since(wallStart).Seconds()
 	if wall <= 0 {
@@ -362,6 +391,11 @@ func (e *Engine) recordRates(wallStart time.Time, firedStart uint64, simStart Ti
 
 // RunUntil fires events with timestamps <= deadline and then advances the
 // clock to the deadline.
+//
+// Like Run, the time.Now read only seeds the rate gauges (see
+// //obfus:wallclock in the package invariants).
+//
+//obfus:wallclock
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	wallStart := time.Time{}
@@ -388,12 +422,16 @@ func (e *Engine) RunUntil(deadline Time) {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Ticker invokes fn every period until cancelled via the returned stop
-// function. The first invocation happens one period from now.
+// function. The first invocation happens one period from now. Stopping
+// cancels the pending tick, so a stopped ticker leaves no event behind to
+// hold Run() open (obfuslint:eventref requires the Schedule/After result to
+// be retained whenever a cancel path exists).
 func (e *Engine) Ticker(period Time, fn func()) (stop func()) {
 	if period <= 0 {
 		panic("sim: non-positive ticker period")
 	}
 	done := false
+	var next EventRef
 	var tick func()
 	tick = func() {
 		if done {
@@ -401,9 +439,34 @@ func (e *Engine) Ticker(period Time, fn func()) (stop func()) {
 		}
 		fn()
 		if !done {
-			e.After(period, tick)
+			next = e.After(period, tick)
 		}
 	}
-	e.After(period, tick)
-	return func() { done = true }
+	next = e.After(period, tick)
+	return func() {
+		if !done {
+			done = true
+			e.Cancel(next)
+		}
+	}
+}
+
+// Reset returns the engine to time zero with an empty queue, invalidating
+// every outstanding EventRef: queued events have their generation bumped
+// before recycling, so a handle retained across Reset can neither cancel
+// nor observe the storage's next occupant (and obfuslint:eventref flags
+// such retention statically).
+func (e *Engine) Reset() {
+	for _, ev := range e.heap {
+		ev.gen++
+		ev.queued = false
+		ev.cancel = false
+		e.recycle(ev)
+	}
+	e.heap = e.heap[:0]
+	e.now = 0
+	e.seq = 0
+	e.live = 0
+	e.fired = 0
+	e.stopped = false
 }

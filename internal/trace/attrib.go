@@ -153,11 +153,11 @@ type AttributionRow struct {
 
 // Attribution is the per-request latency-attribution report.
 type Attribution struct {
-	Requests       uint64           `json:"requests"`
-	Reads          uint64           `json:"reads"`
-	Writes         uint64           `json:"writes"`
-	Sampled        int              `json:"sampled"`
-	DroppedSamples uint64           `json:"dropped_samples"`
+	Requests       uint64 `json:"requests"`
+	Reads          uint64 `json:"reads"`
+	Writes         uint64 `json:"writes"`
+	Sampled        int    `json:"sampled"`
+	DroppedSamples uint64 `json:"dropped_samples"`
 	// MaxResidualPS is the largest |total - sum(parts)| over every request
 	// (0 by construction of the sweep partition).
 	MaxResidualPS int64            `json:"max_residual_ps"`

@@ -86,7 +86,16 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		}
 		events = append(events, ev)
 	}
+	// Emit process_name metadata in ascending pid order. The sort below is
+	// stable and orders metadata only by its Ph/TS class, so map-iteration
+	// order here would otherwise leak straight into the export and break
+	// byte-identical runs (obfuslint:determinism caught this).
+	pidList := make([]int, 0, len(pids))
 	for pid := range pids {
+		pidList = append(pidList, pid)
+	}
+	sort.Ints(pidList)
+	for _, pid := range pidList {
 		name := "cpu"
 		if pid > 0 {
 			name = fmt.Sprintf("channel %d", pid-1)

@@ -28,6 +28,7 @@
 package trace
 
 import (
+	"obfusmem/internal/names"
 	"obfusmem/internal/sim"
 )
 
@@ -159,14 +160,14 @@ func (r *Recorder) push(s Span) {
 // Span records one component interval. No-op on a nil recorder; hot paths
 // that build Args should still guard with Enabled() (or a direct nil check)
 // to avoid the variadic allocation when tracing is off.
-func (r *Recorder) Span(pid int, tid string, cat Category, name string, begin, end sim.Time, args ...Arg) {
+func (r *Recorder) Span(pid int, tid string, cat Category, name names.Name, begin, end sim.Time, args ...Arg) {
 	if r == nil {
 		return
 	}
 	if end < begin {
 		end = begin
 	}
-	s := Span{Req: r.curReq, PID: pid, TID: tid, Cat: cat, Name: name,
+	s := Span{Req: r.curReq, PID: pid, TID: tid, Cat: cat, Name: string(name),
 		Phase: PhaseSpan, Begin: begin, End: end, Args: args}
 	r.push(s)
 	if r.curReq != 0 {
@@ -176,11 +177,11 @@ func (r *Recorder) Span(pid int, tid string, cat Category, name string, begin, e
 
 // Instant records a point event (decode milestones, dummy drops, tamper
 // detections). Instants never contribute to latency attribution.
-func (r *Recorder) Instant(pid int, tid string, name string, at sim.Time, args ...Arg) {
+func (r *Recorder) Instant(pid int, tid string, name names.Name, at sim.Time, args ...Arg) {
 	if r == nil {
 		return
 	}
-	r.push(Span{Req: r.curReq, PID: pid, TID: tid, Cat: CatOther, Name: name,
+	r.push(Span{Req: r.curReq, PID: pid, TID: tid, Cat: CatOther, Name: string(name),
 		Phase: PhaseInstant, Begin: at, End: at, Args: args})
 }
 
@@ -188,13 +189,13 @@ func (r *Recorder) Instant(pid int, tid string, name string, at sim.Time, args .
 // request ID (0 on a nil recorder). Component spans recorded until the
 // matching EndRequest attach to this request. Requests do not nest: the
 // core model is the only caller.
-func (r *Recorder) BeginRequest(kind string, addr uint64, at sim.Time) uint64 {
+func (r *Recorder) BeginRequest(kind names.Name, addr uint64, at sim.Time) uint64 {
 	if r == nil {
 		return 0
 	}
 	r.reqSeq++
 	r.curReq = r.reqSeq
-	r.curKind = kind
+	r.curKind = string(kind)
 	r.curAddr = addr
 	r.curBegin = at
 	r.cur = r.cur[:0]

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"obfusmem/internal/metrics"
+	"obfusmem/internal/names"
 	"obfusmem/internal/sim"
 )
 
@@ -47,7 +48,7 @@ func TestNilRecorderIsNoOp(t *testing.T) {
 func TestRingEviction(t *testing.T) {
 	r := New(4)
 	for i := 0; i < 10; i++ {
-		r.Span(0, "t", CatOther, fmt.Sprintf("s%d", i), sim.Time(i), sim.Time(i+1))
+		r.Span(0, "t", CatOther, names.Name(fmt.Sprintf("s%d", i)), sim.Time(i), sim.Time(i+1))
 	}
 	if r.Len() != 4 {
 		t.Fatalf("Len = %d, want 4", r.Len())
@@ -72,8 +73,8 @@ func TestRingEviction(t *testing.T) {
 func TestBreakdownExact(t *testing.T) {
 	spans := []Span{
 		{Cat: CatQueue, Phase: PhaseSpan, Begin: 0, End: 40},
-		{Cat: CatBus, Phase: PhaseSpan, Begin: 30, End: 60},    // overlaps queue: bus wins on [30,40]
-		{Cat: CatPCM, Phase: PhaseSpan, Begin: 50, End: 90},    // overlaps bus: pcm wins on [50,60]
+		{Cat: CatBus, Phase: PhaseSpan, Begin: 30, End: 60}, // overlaps queue: bus wins on [30,40]
+		{Cat: CatPCM, Phase: PhaseSpan, Begin: 50, End: 90}, // overlaps bus: pcm wins on [50,60]
 		{Cat: CatCrypto, Phase: PhaseSpan, Begin: 100, End: 120},
 		{Cat: CatCrypto, Phase: PhaseSpan, Begin: 110, End: 300}, // clipped at end=200
 		{Cat: CatBus, Phase: PhaseInstant, Begin: 95, End: 95},   // instants never attribute
@@ -112,7 +113,7 @@ func TestBreakdownExact(t *testing.T) {
 func TestRequestAttribution(t *testing.T) {
 	r := New(1000)
 	// Two reads (100 ps and 300 ps total) and one write (200 ps).
-	mkReq := func(kind string, begin, end sim.Time, busEnd sim.Time) {
+	mkReq := func(kind names.Name, begin, end sim.Time, busEnd sim.Time) {
 		id := r.BeginRequest(kind, 0x1000, begin)
 		r.Span(1, "link", CatBus, "data", begin, busEnd)
 		r.EndRequest(id, end)

@@ -70,6 +70,8 @@ bench-smoke:
 	$(GO) test -run 'TestScheduleFireRecycleZeroAllocs|TestReadWriteLegZeroAllocs' \
 		-bench 'BenchmarkEngineChurn|BenchmarkBaselineChurn|BenchmarkReadWriteLeg' \
 		-benchtime 200ms -benchmem ./internal/sim ./internal/obfus
+	$(GO) test -run 'TestHotPathZeroAllocs|TestNoSilentlyLostRequests' ./internal/backend
+	$(GO) run ./cmd/obfsim -exp backends -requests 1500 > /dev/null
 
 profile:
 	$(GO) run ./cmd/obfsim -exp all -requests 5000 \

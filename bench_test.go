@@ -38,8 +38,8 @@ import (
 // across the PR sequence. benchPrevTrajectoryFile is the preceding PR's
 // committed snapshot, used as the regression baseline.
 const (
-	benchTrajectoryFile     = "BENCH_PR4.json"
-	benchPrevTrajectoryFile = "BENCH_PR3.json"
+	benchTrajectoryFile     = "BENCH_PR6.json"
+	benchPrevTrajectoryFile = "BENCH_PR4.json"
 )
 
 // trajectoryRun is one wall-clock measurement in the trajectory file.
@@ -207,8 +207,8 @@ func TestEmitBenchTrajectory(t *testing.T) {
 	}
 	const n, reps = 3000, 3
 	traj := trajectory{
-		PR:     4,
-		Label:  "hot-path overhaul: zero-alloc event engine + pooled crypto/bus buffers",
+		PR:     6,
+		Label:  "backend registry: schemes assembled from descriptors; Palermo joins the head-to-head",
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
@@ -235,11 +235,15 @@ func TestEmitBenchTrajectory(t *testing.T) {
 	base.Seed = 9
 	obf := system.DefaultConfig(system.ObfusMem)
 	obf.Seed = 9
+	pal := system.DefaultConfig(system.Palermo)
+	pal.Seed = 9
 	plainNS := wallClockRun(t, base, "milc", n, reps, false)
 	obfNS := wallClockRun(t, obf, "milc", n, reps, false)
+	palNS := wallClockRun(t, pal, "milc", n, reps, false)
 	traj.Runs = append(traj.Runs,
 		trajectoryRun{Name: "unprotected/milc", Requests: n, NSPerRequest: plainNS},
 		trajectoryRun{Name: "obfusmem-auth/milc", Requests: n, NSPerRequest: obfNS},
+		trajectoryRun{Name: "palermo/milc", Requests: n, NSPerRequest: palNS},
 	)
 
 	// Same protected run with the observability layer on: the delta is the

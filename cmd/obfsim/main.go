@@ -1,6 +1,9 @@
 // Command obfsim regenerates the paper's tables and figures from the
 // simulator. Run with -exp all (default) or one of: table1, table2,
-// table3, figure4, figure5, energy, table4, tampering.
+// table3, figure4, figure5, energy, table4, tampering, timing,
+// sensitivity, faults, backends. The backends matrix compares every
+// registered protection backend (ObfusMem, Path ORAM, Palermo, baselines)
+// head to head and is not part of -exp all.
 //
 // Example:
 //
@@ -35,10 +38,13 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"strings"
+
 	"obfusmem/internal/cpu"
 	"obfusmem/internal/exp"
 	"obfusmem/internal/metrics"
 	"obfusmem/internal/stats"
+	"obfusmem/internal/system"
 	"obfusmem/internal/trace"
 )
 
@@ -55,7 +61,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("obfsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		which      = fs.String("exp", "all", "experiment: all|none|table1|table2|table3|figure4|figure5|energy|table4|tampering|timing|sensitivity|faults")
+		which      = fs.String("exp", "all", "experiment: all|none|table1|table2|table3|figure4|figure5|energy|table4|tampering|timing|sensitivity|faults|backends")
 		requests   = fs.Int("requests", 8000, "memory requests per benchmark per configuration")
 		seed       = fs.Uint64("seed", 42, "global experiment seed")
 		serial     = fs.Bool("serial", false, "disable parallel benchmark execution")
@@ -73,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sampleEvery = fs.Float64("sample-every", 0, "metrics time-series sampling interval in sim microseconds (0 disables)")
 		sampleOut   = fs.String("sample-out", "samples.csv", "file for the metrics time-series CSV (\"-\" for stdout)")
 		traceBench  = fs.String("trace-bench", "milc", "benchmark profile for the traced run")
-		traceMode   = fs.String("trace-mode", "obfusmem-auth", "machine for the traced run: unprotected|encrypt-only|obfusmem|obfusmem-auth|oram")
+		traceMode   = fs.String("trace-mode", "obfusmem-auth", "machine for the traced run: "+strings.Join(system.BackendNames(), "|"))
 		traceChans  = fs.Int("trace-channels", 2, "channel count for the traced run")
 		traceFaults = fs.Float64("trace-faults", 0, "per-packet transient-fault rate for the traced run (0 disables; enables recovery on ObfusMem modes)")
 	)
@@ -163,7 +169,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"timing":      func() *stats.Table { return exp.TimingOblivious(opts) },
 		"sensitivity": func() *stats.Table { return exp.Sensitivity(opts) },
 		"faults":      func() *stats.Table { return exp.Faults(opts) },
+		"backends":    func() *stats.Table { return exp.Backends(opts) },
 	}
+	// "backends" is deliberately not part of -exp all: the archived
+	// results_full.txt predates it and must stay reproducible byte for byte.
 	order := []string{"table1", "table2", "table3", "figure4", "figure5", "energy", "table4", "tampering", "timing", "sensitivity", "faults"}
 
 	names := order

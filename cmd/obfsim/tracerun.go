@@ -42,24 +42,14 @@ func (o traceOptions) enabled() bool {
 	return o.TraceOut != "" || o.AttribOut != "" || o.SampleEveryUS > 0
 }
 
-// systemConfigFor maps a -trace-mode name to a machine configuration.
+// systemConfigFor maps a -trace-mode name to a machine configuration. The
+// name set comes from the backend registry, so every registered scheme —
+// including ones added after this file was written — traces without a CLI
+// change.
 func systemConfigFor(mode string, channels int, seed uint64) (system.Config, error) {
-	var cfg system.Config
-	switch mode {
-	case "unprotected":
-		cfg = system.DefaultConfig(system.Unprotected)
-	case "encrypt-only":
-		cfg = system.DefaultConfig(system.EncryptOnly)
-	case "obfusmem":
-		cfg = system.DefaultConfig(system.ObfusMem)
-		cfg.Obfus = obfus.Default()
-	case "obfusmem-auth":
-		cfg = system.DefaultConfig(system.ObfusMem)
-		cfg.Obfus = obfus.DefaultAuth()
-	case "oram":
-		cfg = system.DefaultConfig(system.ORAM)
-	default:
-		return cfg, fmt.Errorf("unknown -trace-mode %q (want unprotected|encrypt-only|obfusmem|obfusmem-auth|oram)", mode)
+	cfg, err := system.DefaultConfigByName(mode)
+	if err != nil {
+		return cfg, fmt.Errorf("bad -trace-mode: %w", err)
 	}
 	cfg.Channels = channels
 	cfg.Seed = seed

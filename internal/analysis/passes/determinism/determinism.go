@@ -3,8 +3,8 @@
 // every artifact regardless of wall-clock, scheduler, or map-iteration
 // accidents.
 //
-// Within the scoped packages (sim, obfus, bus, memctl, pcm, exp, metrics,
-// trace) the analyzer reports:
+// Within the scoped packages (sim, obfus, palermo, backend, bus, memctl,
+// pcm, exp, metrics, trace) the analyzer reports:
 //
 //   - time.Now / time.Since outside functions annotated //obfus:wallclock.
 //     Wall time may feed throughput gauges, never simulated state, and the
@@ -44,8 +44,9 @@ var Analyzer = &framework.Analyzer{
 // scoped lists the leaf package names (under internal/) the analyzer
 // applies to.
 var scoped = map[string]bool{
-	"sim": true, "obfus": true, "bus": true, "memctl": true,
-	"pcm": true, "exp": true, "metrics": true, "trace": true,
+	"sim": true, "obfus": true, "palermo": true, "backend": true,
+	"bus": true, "memctl": true, "pcm": true, "exp": true,
+	"metrics": true, "trace": true,
 }
 
 // inScope reports whether the import path is .../internal/<scoped leaf>.

@@ -35,12 +35,13 @@ func Dummy(n Name) Name { return n + ".dummy" }
 
 // Metric scopes, one per instrumented component.
 const (
-	ScopeSim    Name = "sim"
-	ScopeBus    Name = "bus"
-	ScopeFault  Name = "fault"
-	ScopeObfus  Name = "obfus"
-	ScopeMemctl Name = "memctl"
-	ScopePCM    Name = "pcm"
+	ScopeSim     Name = "sim"
+	ScopeBus     Name = "bus"
+	ScopeFault   Name = "fault"
+	ScopeObfus   Name = "obfus"
+	ScopeMemctl  Name = "memctl"
+	ScopePCM     Name = "pcm"
+	ScopePalermo Name = "palermo"
 )
 
 // Simulation-engine metrics (internal/sim).
@@ -64,14 +65,18 @@ const (
 	BusRespBusyPS     Name = "resp_busy_ps"
 )
 
-// Fault-injector metrics (internal/fault).
+// Fault-injector metrics (internal/fault). FaultLostRequests is recorded by
+// the backends themselves (internal/backend, internal/palermo): a real
+// request whose command or reply leg a fault dropped and that no recovery
+// protocol brought back — the request-level consequence of FaultLosses.
 const (
-	FaultLosses    Name = "losses"
-	FaultCmdFlips  Name = "cmd_flips"
-	FaultDataFlips Name = "data_flips"
-	FaultMACFlips  Name = "mac_flips"
-	FaultStalls    Name = "stalls"
-	FaultStallPS   Name = "stall_ps"
+	FaultLosses       Name = "losses"
+	FaultCmdFlips     Name = "cmd_flips"
+	FaultDataFlips    Name = "data_flips"
+	FaultMACFlips     Name = "mac_flips"
+	FaultStalls       Name = "stalls"
+	FaultStallPS      Name = "stall_ps"
+	FaultLostRequests Name = "lost_requests"
 )
 
 // ObfusMem controller metrics (internal/obfus).
@@ -93,6 +98,15 @@ const (
 	ObfusQuarantines       Name = "quarantines"
 	ObfusMACSlackNS        Name = "mac_slack_ns"
 	ObfusRecoveryNS        Name = "recovery_latency_ns"
+)
+
+// Palermo controller metrics (internal/palermo).
+const (
+	PalermoAccesses    Name = "accesses"
+	PalermoPathReads   Name = "path_reads"
+	PalermoEvictWrites Name = "evict_writes"
+	PalermoBatches     Name = "batches"
+	PalermoLostBlocks  Name = "lost_blocks"
 )
 
 // Memory-controller metrics (internal/memctl, scope "memctl.ch<i>").
@@ -161,6 +175,13 @@ const (
 	SpanRetryBackoff Name = "retry-backoff"
 	SpanRecovered    Name = "recovered"
 	SpanQuarantine   Name = "quarantine"
+)
+
+// Palermo controller spans (internal/palermo).
+const (
+	SpanPalermoProtocol Name = "protocol"
+	SpanPathRead        Name = "path-read"
+	SpanEvictFlush      Name = "evict-flush"
 )
 
 // Cache-hierarchy spans (internal/cache).

@@ -43,30 +43,13 @@ func (s *System) WriteData(at sim.Time, addr uint64, plaintext Block) sim.Time {
 	if blk, ok := tracked(addr); ok {
 		s.tree().Update(blk, plaintext[:])
 	}
-	switch s.cfg.Mode {
-	case Unprotected:
-		s.mem.StoreBlock(addr, plaintext)
-		return s.plainTransfer(at, addr, true)
-	case EncryptOnly:
-		ready, _ := s.enc.EncryptWriteback(at, addr)
-		ct := plaintext
+	ct := plaintext
+	ready := at
+	if s.enc != nil {
+		ready, _ = s.enc.EncryptWriteback(at, addr)
 		s.enc.EncryptData(ct[:], addr)
-		s.mem.StoreBlock(addr, ct)
-		return s.plainTransfer(ready, addr, true)
-	case ObfusMem:
-		ready, _ := s.enc.EncryptWriteback(at, addr)
-		ct := plaintext
-		s.enc.EncryptData(ct[:], addr)
-		return s.obf.WriteData(at, addr, ready, ct)
-	case ORAM:
-		s.enc.EncryptWriteback(at, addr)
-		ct := plaintext
-		s.enc.EncryptData(ct[:], addr)
-		s.mem.StoreBlock(addr, ct)
-		return s.oramP.Access(at)
-	default:
-		panic("system: unknown mode")
 	}
+	return s.bk.WriteData(at, addr, ready, ct)
 }
 
 // ReadData reads a block back through the full datapath. verified is false
@@ -75,30 +58,13 @@ func (s *System) WriteData(at sim.Time, addr uint64, plaintext Block) sim.Time {
 // protocol rejected the access.
 func (s *System) ReadData(at sim.Time, addr uint64) (plaintext Block, done sim.Time, verified bool) {
 	addr = (addr % s.capacity()) &^ 63
-	protoOK := true
-	switch s.cfg.Mode {
-	case Unprotected:
-		done = s.plainTransfer(at, addr, false)
-		plaintext = s.mem.LoadBlock(addr)
-	case EncryptOnly:
-		raw := s.plainTransfer(at, addr, false)
+	ct, raw, protoOK := s.bk.ReadData(at, addr)
+	plaintext = ct
+	if s.enc != nil {
 		done = s.enc.DecryptFill(at, addr, raw)
-		plaintext = s.mem.LoadBlock(addr)
 		s.enc.DecryptData(plaintext[:], addr)
-	case ObfusMem:
-		var ct Block
-		var raw sim.Time
-		ct, raw, protoOK = s.obf.ReadData(at, addr)
-		done = s.enc.DecryptFill(at, addr, raw)
-		plaintext = ct
-		s.enc.DecryptData(plaintext[:], addr)
-	case ORAM:
-		raw := s.oramP.Access(at)
-		done = s.enc.DecryptFill(at, addr, raw)
-		plaintext = s.mem.LoadBlock(addr)
-		s.enc.DecryptData(plaintext[:], addr)
-	default:
-		panic("system: unknown mode")
+	} else {
+		done = raw
 	}
 	verified = protoOK
 	if blk, ok := tracked(addr); ok && protoOK {

@@ -1,14 +1,21 @@
-// Package system assembles full machines for each protection level the
-// paper evaluates: Unprotected (the baseline of Table 3 / Figs 4-5),
-// EncryptOnly (counter-mode memory encryption), ObfusMem in all its design
-// variants, and the fixed-latency Path ORAM model. Every configuration
-// shares the same bus, controller, and PCM substrates, so measured
-// differences are attributable to the protection scheme alone.
+// Package system assembles full machines for each protection scheme the
+// simulator evaluates: the paper's Unprotected baseline (Table 3 /
+// Figs 4-5), EncryptOnly (counter-mode memory encryption), ObfusMem in all
+// its design variants, the fixed-latency Path ORAM model, and schemes from
+// follow-on work (Palermo). Every configuration shares the same bus,
+// controller, and PCM substrates, so measured differences are attributable
+// to the protection scheme alone.
+//
+// Schemes are obtained from the internal/backend registry: a machine is
+// assembled from a registered backend name (Config.Backend), with the
+// legacy Mode enum retained as a thin alias layer for existing callers.
 package system
 
 import (
 	"fmt"
+	"strings"
 
+	"obfusmem/internal/backend"
 	"obfusmem/internal/bus"
 	"obfusmem/internal/ctrmode"
 	"obfusmem/internal/fault"
@@ -18,13 +25,16 @@ import (
 	"obfusmem/internal/metrics"
 	"obfusmem/internal/obfus"
 	"obfusmem/internal/oram"
+	"obfusmem/internal/palermo"
 	"obfusmem/internal/pcm"
 	"obfusmem/internal/sim"
 	"obfusmem/internal/trace"
 	"obfusmem/internal/xrand"
 )
 
-// Mode selects the protection level.
+// Mode selects the protection level. It survives as a convenience alias
+// over the backend registry: Config.Backend (a registered name) is the
+// source of truth, and a zero Backend falls back to Mode.String().
 type Mode int
 
 // Protection levels.
@@ -33,6 +43,7 @@ const (
 	EncryptOnly
 	ObfusMem
 	ORAM
+	Palermo
 )
 
 func (m Mode) String() string {
@@ -45,19 +56,58 @@ func (m Mode) String() string {
 		return "obfusmem"
 	case ORAM:
 		return "oram"
+	case Palermo:
+		return "palermo"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
 }
 
+// modeOf maps every registered backend name to its legacy Mode. Both
+// ObfusMem spellings collapse onto the one Mode — the design point lives
+// in the Obfus options block, not the enum.
+var modeOf = map[string]Mode{
+	"unprotected":   Unprotected,
+	"encrypt-only":  EncryptOnly,
+	"obfusmem":      ObfusMem,
+	"obfusmem-auth": ObfusMem,
+	"oram":          ORAM,
+	"palermo":       Palermo,
+}
+
+// ParseMode resolves a scheme name against the backend registry and
+// returns its legacy Mode. It is the single source of truth for scheme
+// names: every name in BackendNames round-trips, and callers (CLI flags,
+// experiment tables) get one consistent error message for the rest.
+func ParseMode(name string) (Mode, error) {
+	if _, ok := backend.Lookup(name); !ok {
+		return 0, fmt.Errorf("unknown scheme %q (registered: %s)",
+			name, strings.Join(BackendNames(), ", "))
+	}
+	m, ok := modeOf[name]
+	if !ok {
+		return 0, fmt.Errorf("scheme %q is registered but has no Mode mapping", name)
+	}
+	return m, nil
+}
+
+// BackendNames lists every registered scheme name, sorted.
+func BackendNames() []string { return backend.Names() }
+
 // Config describes a machine.
 type Config struct {
-	Mode     Mode
+	// Backend selects the protection scheme by registered name (see
+	// BackendNames). When empty, the legacy Mode field selects it.
+	Backend string
+	Mode    Mode
+	// Channels is the number of independent bus/memory channels.
 	Channels int
-	// Obfus selects the ObfusMem design point (Mode == ObfusMem).
+	// Obfus selects the ObfusMem design point (obfusmem / obfusmem-auth).
 	Obfus obfus.Config
-	// ORAMConcurrency bounds overlapping path accesses (Mode == ORAM).
+	// ORAMConcurrency bounds overlapping path accesses (oram).
 	ORAMConcurrency int
+	// Palermo selects the Palermo design point (palermo).
+	Palermo palermo.Config
 	// DRAM selects a DRAM main memory (with refresh) instead of the
 	// paper's PCM — the technology ablation for the HMC/HBM stacks of
 	// Section 2.2.
@@ -65,9 +115,9 @@ type Config struct {
 	// WearLevel enables Start-Gap wear levelling inside the memory module
 	// (Section 2.2's smart-NVM logic functions).
 	WearLevel bool
-	// IntegrityTree enables Bonsai Merkle verification traffic in the
-	// protected modes (EncryptOnly, ObfusMem): the paper's baseline
-	// secure processor assumes it (Section 2.1).
+	// IntegrityTree enables Bonsai Merkle verification traffic on schemes
+	// whose Features claim integrity support (EncryptOnly, ObfusMem): the
+	// paper's baseline secure processor assumes it (Section 2.1).
 	IntegrityTree bool
 	// FullHandshake runs the complete trust-bootstrap + DH key
 	// establishment from the keys package instead of deriving session
@@ -76,47 +126,76 @@ type Config struct {
 	FullHandshake bool
 	Seed          uint64
 	// Metrics, when non-nil, turns on the observability layer: the bus,
-	// memory controller, PCM devices, and ObfusMem controller all record
+	// memory controller, PCM devices, and the protection backend all record
 	// counters/histograms into per-component scopes of this registry.
 	// Multiple systems may share one registry (instruments are atomic);
 	// their counts then aggregate. Nil (the default) disables with a
 	// nil-instrument fast path, keeping the hot path unperturbed.
 	Metrics *metrics.Registry
 	// Trace, when non-nil, turns on per-request lifecycle tracing: the bus,
-	// memory controller, PCM devices, and ObfusMem controller record spans
-	// into this recorder. Unlike Metrics, a Recorder is single-threaded —
-	// never share one across concurrently-driven systems. Nil disables.
+	// memory controller, PCM devices, and the protection backend record
+	// spans into this recorder. Unlike Metrics, a Recorder is
+	// single-threaded — never share one across concurrently-driven
+	// systems. Nil disables.
 	Trace *trace.Recorder
 	// Fault, when non-nil, installs a transient-fault injector on the bus
 	// (bit flips, packet loss, stalls). Pair it with Obfus.Recovery in the
-	// ObfusMem mode; the unprotected/encrypt-only machines have no
-	// recovery protocol and will silently lose faulted requests, like the
-	// DDR bus they model would without CRC-retry. When Fault.Seed is zero
-	// the injector derives its stream from the machine Seed.
+	// ObfusMem modes; the unprotected/encrypt-only machines have no
+	// recovery protocol and lose faulted requests, like the DDR bus they
+	// model would without CRC-retry — the loss is surfaced through
+	// Accounting and the fault.lost_requests metric. When Fault.Seed is
+	// zero the injector derives its stream from the machine Seed.
 	Fault *fault.Config
 }
 
 // DefaultConfig returns a single-channel machine in the given mode with the
-// paper's parameters.
+// paper's parameters. The ObfusMem mode maps to the full design
+// ("obfusmem-auth", encrypt-and-MAC), matching the paper's headline
+// configuration.
 func DefaultConfig(mode Mode) Config {
-	cfg := Config{Mode: mode, Channels: 1, ORAMConcurrency: oram.PaperConcurrency, Seed: 1}
+	name := mode.String()
 	if mode == ObfusMem {
-		cfg.Obfus = obfus.DefaultAuth()
+		name = "obfusmem-auth"
+	}
+	cfg, err := DefaultConfigByName(name)
+	if err != nil {
+		panic("system: " + err.Error())
 	}
 	return cfg
 }
 
+// DefaultConfigByName returns a single-channel machine for the named
+// backend, its options block populated by the scheme's own Defaults hook.
+func DefaultConfigByName(name string) (Config, error) {
+	d, ok := backend.Lookup(name)
+	if !ok {
+		return Config{}, fmt.Errorf("unknown scheme %q (registered: %s)",
+			name, strings.Join(BackendNames(), ", "))
+	}
+	mode, ok := modeOf[name]
+	if !ok {
+		return Config{}, fmt.Errorf("scheme %q is registered but has no Mode mapping", name)
+	}
+	cfg := Config{Backend: name, Mode: mode, Channels: 1, Seed: 1}
+	var o backend.Options
+	if d.Defaults != nil {
+		d.Defaults(&o)
+	}
+	cfg.Obfus = o.Obfus
+	cfg.ORAMConcurrency = o.ORAMConcurrency
+	cfg.Palermo = o.Palermo
+	return cfg, nil
+}
+
 // System is an assembled machine implementing cpu.MemorySystem.
 type System struct {
-	cfg   Config
-	bus   *bus.Bus
-	mem   *memctl.Controller
-	enc   *ctrmode.Engine
-	obf   *obfus.Controller
-	oramP *oram.PerfModel
-	inj   *fault.Injector
-	rng   *xrand.Rand
-	seq   uint64
+	cfg Config
+	bus *bus.Bus
+	mem *memctl.Controller
+	enc *ctrmode.Engine
+	bk  backend.Backend
+	inj *fault.Injector
+	rng *xrand.Rand
 	// dataTree is the functional Merkle tree backing the value-carrying
 	// mode (lazily built on first WriteData).
 	dataTree *merkle.Tree
@@ -125,11 +204,46 @@ type System struct {
 	BootApproach keys.Approach
 }
 
-// New builds a machine.
+// New builds a machine, panicking on configuration errors (the historical
+// contract; use NewChecked to handle them).
 func New(cfg Config) *System {
+	s, err := NewChecked(cfg)
+	if err != nil {
+		panic("system: " + err.Error())
+	}
+	return s
+}
+
+// NewChecked builds a machine from the registered backend selected by
+// cfg.Backend (or, when empty, cfg.Mode). It rejects unknown scheme names
+// and configs that set options foreign to the selected backend — e.g.
+// ORAMConcurrency on an ObfusMem machine — since those silently did
+// nothing under the old mode switch.
+func NewChecked(cfg Config) (*System, error) {
 	if cfg.Channels <= 0 {
 		cfg.Channels = 1
 	}
+	name := cfg.Backend
+	if name == "" {
+		name = cfg.Mode.String()
+	}
+	d, ok := backend.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown scheme %q (registered: %s)",
+			name, strings.Join(BackendNames(), ", "))
+	}
+	opts := backend.Options{
+		Obfus:           cfg.Obfus,
+		ORAMConcurrency: cfg.ORAMConcurrency,
+		Palermo:         cfg.Palermo,
+	}
+	if err := d.CheckForeign(opts); err != nil {
+		return nil, err
+	}
+	// Normalize so Config() reports both spellings consistently.
+	cfg.Backend = name
+	cfg.Mode = modeOf[name]
+
 	mcfg := memctl.DefaultConfig(cfg.Channels)
 	mcfg.WearLevel = cfg.WearLevel
 	mcfg.Metrics = cfg.Metrics
@@ -154,44 +268,43 @@ func New(cfg Config) *System {
 		s.bus.SetFaultInjector(s.inj)
 	}
 
+	// The memory-encryption key is drawn first, before any backend
+	// construction, fixing the machine's RNG draw order across schemes.
 	var memKey [16]byte
 	s.rng.Bytes(memKey[:])
 
-	switch cfg.Mode {
-	case Unprotected:
-		// nothing further
-	case EncryptOnly:
-		s.enc = ctrmode.New(memKey, s.plainFetch)
-		if cfg.IntegrityTree {
-			s.enc.EnableIntegrity(7)
-		}
-	case ObfusMem:
-		table := s.establishKeys()
-		ocfg := cfg.Obfus
-		ocfg.Metrics = cfg.Metrics
-		ocfg.Trace = cfg.Trace
-		s.obf = obfus.New(ocfg, s.bus, s.mem, table, s.rng.Fork(2))
-		s.enc = ctrmode.New(memKey, s.obfusFetch)
-		if cfg.IntegrityTree {
-			s.enc.EnableIntegrity(7)
-		}
-	case ORAM:
-		n := cfg.ORAMConcurrency
-		if n <= 0 {
-			n = oram.PaperConcurrency
-		}
-		s.oramP = oram.NewPerfModelN(n)
-		// Counter/PosMap state is held on-chip in the paper's ORAM model;
-		// memory encryption is functional but adds no extra traffic.
-		s.enc = ctrmode.New(memKey, nil)
-	default:
-		panic("system: unknown mode")
+	bk, err := d.New(backend.Context{
+		Channels:    cfg.Channels,
+		Seed:        cfg.Seed,
+		Bus:         s.bus,
+		Mem:         s.mem,
+		Metrics:     cfg.Metrics,
+		Trace:       cfg.Trace,
+		ForkRng:     s.rng.Fork,
+		SessionKeys: s.establishKeys,
+		Options:     opts,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("backend %q: %w", name, err)
 	}
-	return s
+	s.bk = bk
+
+	if d.Features.AtRest {
+		var fetch func(sim.Time, uint64, bool) sim.Time
+		if d.Features.CounterFetch == backend.FetchSelf {
+			fetch = s.counterFetch
+		}
+		s.enc = ctrmode.New(memKey, fetch)
+		if d.Features.Integrity && cfg.IntegrityTree {
+			s.enc.EnableIntegrity(7)
+		}
+	}
+	return s, nil
 }
 
 // establishKeys produces the per-channel session key table, either through
-// the full trust architecture or directly from the seed.
+// the full trust architecture or directly from the seed. It is handed to
+// backends as the Context.SessionKeys hook.
 func (s *System) establishKeys() *keys.SessionKeyTable {
 	table := keys.NewSessionKeyTable(s.cfg.Channels, s.mem.Mapper().ChannelOf)
 	if !s.cfg.FullHandshake {
@@ -232,78 +345,57 @@ func (s *System) Memory() *memctl.Controller { return s.mem }
 // Encryption exposes the memory-encryption engine (nil when unprotected).
 func (s *System) Encryption() *ctrmode.Engine { return s.enc }
 
-// Obfus exposes the ObfusMem controller (nil in other modes).
-func (s *System) Obfus() *obfus.Controller { return s.obf }
+// Backend exposes the protection backend servicing this machine.
+func (s *System) Backend() backend.Backend { return s.bk }
 
-// ORAMModel exposes the ORAM performance model (nil in other modes).
-func (s *System) ORAMModel() *oram.PerfModel { return s.oramP }
+// Obfus exposes the ObfusMem controller (nil on other backends).
+func (s *System) Obfus() *obfus.Controller {
+	if o, ok := s.bk.(*backend.Obfus); ok {
+		return o.Controller()
+	}
+	return nil
+}
+
+// ORAMModel exposes the ORAM performance model (nil on other backends).
+func (s *System) ORAMModel() *oram.PerfModel {
+	if o, ok := s.bk.(*backend.ORAM); ok {
+		return o.Model()
+	}
+	return nil
+}
+
+// Palermo exposes the Palermo controller (nil on other backends).
+func (s *System) Palermo() *palermo.Controller {
+	if p, ok := s.bk.(*backend.Palermo); ok {
+		return p.Controller()
+	}
+	return nil
+}
+
+// Accounting returns the backend's request-conservation ledger.
+func (s *System) Accounting() backend.Accounting { return s.bk.Accounting() }
 
 // FaultInjector exposes the transient-fault injector (nil when Config.Fault
 // is nil).
 func (s *System) FaultInjector() *fault.Injector { return s.inj }
 
 // Err surfaces the machine's fail-stop state: a *obfus.ChannelError when
-// the recovery protocol has quarantined channels, nil otherwise.
-func (s *System) Err() error {
-	if s.obf != nil {
-		return s.obf.Err()
-	}
-	return nil
-}
+// the ObfusMem recovery protocol has quarantined channels, nil otherwise.
+func (s *System) Err() error { return s.bk.Err() }
 
-// Config returns the machine configuration.
+// Config returns the machine configuration (normalized: both Backend and
+// Mode are populated).
 func (s *System) Config() Config { return s.cfg }
 
-// plainTransfer moves one unencrypted request over the bus and accesses
-// PCM; it returns data-ready (reads) or retirement (writes) time.
-func (s *System) plainTransfer(at sim.Time, addr uint64, write bool) sim.Time {
-	ch := s.mem.Mapper().ChannelOf(addr)
-	t := bus.Read
-	if write {
-		t = bus.Write
-	}
-	var cmd [bus.CmdBytes]byte
-	cmd[0] = byte(t)
-	for i := 0; i < 8; i++ {
-		cmd[1+i] = byte(addr >> (56 - 8*uint(i)))
-	}
-	pkt := &bus.Packet{
-		Channel: ch, Dir: bus.ProcToMem, CmdCipher: cmd, HasCmd: true,
-		Type: t, Addr: addr, Plaintext: true, Seq: s.seq,
-	}
-	s.seq++
-	if write {
-		pkt.Data = make([]byte, bus.DataBytes)
-	}
-	arrive, delivered := s.bus.Transfer(at, pkt)
-	if delivered == nil {
-		return arrive
-	}
-	done := s.mem.Access(arrive, addr, write)
-	if write {
-		return done
-	}
-	reply := &bus.Packet{
-		Channel: ch, Dir: bus.MemToProc, Data: make([]byte, bus.DataBytes),
-		Type: bus.Read, Addr: addr, Plaintext: true,
-	}
-	replyArrive, _ := s.bus.Transfer(done, reply)
-	return replyArrive
-}
-
-// plainFetch services counter-block traffic for the EncryptOnly machine.
-func (s *System) plainFetch(at sim.Time, addr uint64, write bool) sim.Time {
-	return s.plainTransfer(at, addr%s.capacity(), write)
-}
-
-// obfusFetch services counter-block traffic through the ObfusMem path, so
-// counter fetches are obfuscated like all other traffic.
-func (s *System) obfusFetch(at sim.Time, addr uint64, write bool) sim.Time {
+// counterFetch routes the at-rest encryption engine's counter-block
+// traffic back through the protection backend (Features.CounterFetch ==
+// FetchSelf), so metadata fetches are protected like demand traffic.
+func (s *System) counterFetch(at sim.Time, addr uint64, write bool) sim.Time {
 	a := addr % s.capacity()
 	if write {
-		return s.obf.Write(at, a, at)
+		return s.bk.Write(at, a, at)
 	}
-	done, _ := s.obf.Read(at, a)
+	done, _ := s.bk.Read(at, a)
 	return done
 }
 
@@ -312,47 +404,25 @@ func (s *System) capacity() uint64 { return 8 << 30 }
 // Read implements cpu.MemorySystem.
 func (s *System) Read(at sim.Time, addr uint64) sim.Time {
 	addr %= s.capacity()
-	switch s.cfg.Mode {
-	case Unprotected:
-		return s.plainTransfer(at, addr, false)
-	case EncryptOnly:
-		dataReady := s.plainTransfer(at, addr, false)
+	dataReady, _ := s.bk.Read(at, addr)
+	if s.enc != nil {
 		return s.enc.DecryptFill(at, addr, dataReady)
-	case ObfusMem:
-		dataReady, _ := s.obf.Read(at, addr)
-		return s.enc.DecryptFill(at, addr, dataReady)
-	case ORAM:
-		dataReady := s.oramP.Access(at)
-		return s.enc.DecryptFill(at, addr, dataReady)
-	default:
-		panic("system: unknown mode")
 	}
+	return dataReady
 }
 
 // Write implements cpu.MemorySystem.
 func (s *System) Write(at sim.Time, addr uint64) sim.Time {
 	addr %= s.capacity()
-	switch s.cfg.Mode {
-	case Unprotected:
-		return s.plainTransfer(at, addr, true)
-	case EncryptOnly:
-		ready, _ := s.enc.EncryptWriteback(at, addr)
-		return s.plainTransfer(ready, addr, true)
-	case ObfusMem:
-		ready, _ := s.enc.EncryptWriteback(at, addr)
-		return s.obf.Write(at, addr, ready)
-	case ORAM:
-		s.enc.EncryptWriteback(at, addr)
-		return s.oramP.Access(at)
-	default:
-		panic("system: unknown mode")
+	ready := at
+	if s.enc != nil {
+		ready, _ = s.enc.EncryptWriteback(at, addr)
 	}
+	return s.bk.Write(at, addr, ready)
 }
 
 // Drain implements cpu.MemorySystem.
 func (s *System) Drain(at sim.Time) {
-	if s.obf != nil {
-		s.obf.Drain(at)
-	}
+	s.bk.Drain(at)
 	s.mem.Flush()
 }

@@ -62,6 +62,11 @@ const (
 	// ProtectionORAM replaces ObfusMem with the paper's optimistic Path
 	// ORAM performance model.
 	ProtectionORAM
+	// ProtectionPalermo replaces ObfusMem with the Palermo
+	// protocol/hardware co-designed oblivious memory (arXiv 2411.05400):
+	// batched oblivious accesses with cover-block path reads and deferred
+	// eviction writebacks.
+	ProtectionPalermo
 )
 
 func (p Protection) String() string {
@@ -76,6 +81,8 @@ func (p Protection) String() string {
 		return "obfusmem+auth"
 	case ProtectionORAM:
 		return "oram"
+	case ProtectionPalermo:
+		return "palermo"
 	default:
 		return fmt.Sprintf("Protection(%d)", int(p))
 	}
@@ -197,6 +204,8 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		sc.Obfus = oc
 	case ProtectionORAM:
 		sc.Mode = system.ORAM
+	case ProtectionPalermo:
+		sc.Mode = system.Palermo
 	default:
 		return nil, fmt.Errorf("obfusmem: unknown protection %v", cfg.Protection)
 	}

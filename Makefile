@@ -72,6 +72,7 @@ bench-smoke:
 		-benchtime 200ms -benchmem ./internal/sim ./internal/obfus
 	$(GO) test -run 'TestHotPathZeroAllocs|TestNoSilentlyLostRequests' ./internal/backend
 	$(GO) run ./cmd/obfsim -exp backends -requests 1500 > /dev/null
+	$(GO) run ./cmd/obfsim -exp leakage -requests 1500 > /dev/null
 
 profile:
 	$(GO) run ./cmd/obfsim -exp all -requests 5000 \

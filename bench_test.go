@@ -17,10 +17,12 @@ import (
 	"time"
 
 	"obfusmem"
+	"obfusmem/internal/attack"
 	"obfusmem/internal/bus"
 	"obfusmem/internal/cpu"
 	"obfusmem/internal/exp"
 	"obfusmem/internal/keys"
+	"obfusmem/internal/leakage"
 	"obfusmem/internal/memctl"
 	"obfusmem/internal/metrics"
 	"obfusmem/internal/obfus"
@@ -38,8 +40,8 @@ import (
 // across the PR sequence. benchPrevTrajectoryFile is the preceding PR's
 // committed snapshot, used as the regression baseline.
 const (
-	benchTrajectoryFile     = "BENCH_PR6.json"
-	benchPrevTrajectoryFile = "BENCH_PR4.json"
+	benchTrajectoryFile     = "BENCH_PR7.json"
+	benchPrevTrajectoryFile = "BENCH_PR6.json"
 )
 
 // trajectoryRun is one wall-clock measurement in the trajectory file.
@@ -66,6 +68,7 @@ type trajectory struct {
 	MetricsOverheadPct  float64 `json:"metrics_overhead_pct"`  // enabled vs disabled, same run
 	TraceOverheadPct    float64 `json:"trace_overhead_pct"`    // tracing on vs off, same run
 	RecoveryOverheadPct float64 `json:"recovery_overhead_pct"` // recovery protocol armed, zero faults, vs recovery off
+	LeakageOverheadPct  float64 `json:"leakage_overhead_pct"`  // observer + leakage evaluation on vs off, same run
 	VsPrevPct           float64 `json:"vs_prev_pct"`           // nil-off ns/request vs previous PR's snapshot
 
 	// Engine compares the PR 4 free-list event engine against the frozen
@@ -197,6 +200,32 @@ func wallClockRun(tb testing.TB, cfg system.Config, bench string, n, reps int, t
 	return float64(best.Nanoseconds()) / float64(n)
 }
 
+// leakageWallClock measures one observed run — passive bus observer,
+// defender-side request probe, full leakage evaluation after the run —
+// and returns ns/request (best of reps), the leakage-scoring-on side of
+// the trajectory's LeakageOverheadPct.
+func leakageWallClock(tb testing.TB, cfg system.Config, bench string, n, reps int) float64 {
+	tb.Helper()
+	p, err := workload.ByName(bench)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		sys := system.New(cfg)
+		obs := attack.NewObserver(cfg.Channels, 1<<21)
+		sys.Bus().AttachObserver(obs)
+		probe := leakage.NewProbe(sys)
+		start := time.Now()
+		cpu.Run(p, n, probe, cpu.DefaultConfig(), cfg.Seed+7)
+		leakage.Evaluate(obs.WireTrace(), probe.Issued(), nil)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(n)
+}
+
 // TestEmitBenchTrajectory regenerates this PR's BENCH_*.json snapshot. It
 // runs as part of the ordinary suite so the trajectory never goes stale.
 func TestEmitBenchTrajectory(t *testing.T) {
@@ -207,8 +236,8 @@ func TestEmitBenchTrajectory(t *testing.T) {
 	}
 	const n, reps = 3000, 3
 	traj := trajectory{
-		PR:     6,
-		Label:  "backend registry: schemes assembled from descriptors; Palermo joins the head-to-head",
+		PR:     7,
+		Label:  "leakage observatory: quantitative security metrics (MI, recovery, workload ID) for every backend",
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
@@ -283,6 +312,16 @@ func TestEmitBenchTrajectory(t *testing.T) {
 	if traj.RecoveryOverheadPct > 25 {
 		t.Errorf("zero-fault recovery overhead %.1f%% is far beyond the within-noise budget", traj.RecoveryOverheadPct)
 	}
+
+	// Same run with the leakage observatory attached: passive observer on
+	// the bus, request probe on the defender side, and the full
+	// inference-and-scoring evaluation after the run. Leakage quantification
+	// is an offline analysis, so its cost rides outside the simulated
+	// machine; the recorded number keeps the whole harness honest.
+	leakNS := leakageWallClock(t, obf, "milc", n, reps)
+	traj.Runs = append(traj.Runs,
+		trajectoryRun{Name: "obfusmem-auth+leakage/milc", Requests: n, NSPerRequest: leakNS})
+	traj.LeakageOverheadPct = (leakNS - obfNS) / obfNS * 100
 
 	// Nil-off regression vs the previous PR's committed snapshot: the
 	// tracing hooks must be free when disabled (<2% target). Wall clock on

@@ -1,9 +1,12 @@
 // Command obfsim regenerates the paper's tables and figures from the
 // simulator. Run with -exp all (default) or one of: table1, table2,
 // table3, figure4, figure5, energy, table4, tampering, timing,
-// sensitivity, faults, backends. The backends matrix compares every
-// registered protection backend (ObfusMem, Path ORAM, Palermo, baselines)
-// head to head and is not part of -exp all.
+// sensitivity, faults, backends, leakage. The backends matrix compares
+// every registered protection backend (ObfusMem, Path ORAM, Palermo,
+// baselines) head to head; the leakage matrix quantifies what a passive
+// bus observer extracts from each (mutual information, address-recovery
+// accuracy, workload-identification advantage), with -leakage-out writing
+// the machine-readable report JSON. Neither is part of -exp all.
 //
 // Example:
 //
@@ -30,6 +33,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +46,7 @@ import (
 
 	"obfusmem/internal/cpu"
 	"obfusmem/internal/exp"
+	"obfusmem/internal/leakage"
 	"obfusmem/internal/metrics"
 	"obfusmem/internal/stats"
 	"obfusmem/internal/system"
@@ -61,7 +66,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("obfsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		which      = fs.String("exp", "all", "experiment: all|none|table1|table2|table3|figure4|figure5|energy|table4|tampering|timing|sensitivity|faults|backends")
+		which      = fs.String("exp", "all", "experiment: all|none|table1|table2|table3|figure4|figure5|energy|table4|tampering|timing|sensitivity|faults|backends|leakage")
 		requests   = fs.Int("requests", 8000, "memory requests per benchmark per configuration")
 		seed       = fs.Uint64("seed", 42, "global experiment seed")
 		serial     = fs.Bool("serial", false, "disable parallel benchmark execution")
@@ -72,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		useMetrics = fs.Bool("metrics", false, "record per-component observability metrics (small overhead)")
 		metricsOut = fs.String("metrics-out", "metrics.json", "file for the metrics JSON snapshot (\"-\" for stdout); implies -metrics")
+		leakageOut = fs.String("leakage-out", "", "machine-readable leakage report JSON (\"-\" for stdout); implies the -exp leakage sweep")
 
 		traceOut    = fs.String("trace-out", "", "Chrome trace-event JSON for a dedicated traced run (\"-\" for stdout); enables tracing")
 		traceLimit  = fs.Int("trace-limit", trace.DefaultLimit, "trace ring-buffer capacity in spans (oldest evicted beyond it)")
@@ -99,6 +105,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	preflight := [][2]string{
 		{"trace-out", *traceOut},
 		{"attrib-out", *attribOut},
+		{"leakage-out", *leakageOut},
 	}
 	if *useMetrics || metricsOutSet {
 		preflight = append(preflight, [2]string{"metrics-out", *metricsOut})
@@ -157,6 +164,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		opts.Metrics = reg
 	}
 
+	// The leakage sweep is computed at most once per invocation: the -exp
+	// leakage table and the -leakage-out JSON render the same report.
+	var leakReport *leakage.Report
+	leakageReport := func() *leakage.Report {
+		if leakReport == nil {
+			leakReport = exp.LeakageReport(opts)
+		}
+		return leakReport
+	}
+
 	runners := map[string]func() *stats.Table{
 		"table1":      func() *stats.Table { return exp.Table1(opts) },
 		"table2":      exp.Table2,
@@ -170,6 +187,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"sensitivity": func() *stats.Table { return exp.Sensitivity(opts) },
 		"faults":      func() *stats.Table { return exp.Faults(opts) },
 		"backends":    func() *stats.Table { return exp.Backends(opts) },
+		"leakage":     func() *stats.Table { return leakageReport().Table() },
 	}
 	// "backends" is deliberately not part of -exp all: the archived
 	// results_full.txt predates it and must stay reproducible byte for byte.
@@ -204,6 +222,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		if *metricsOut != "-" {
 			fmt.Fprintf(stderr, "[metrics snapshot written to %s]\n", *metricsOut)
+		}
+	}
+
+	if *leakageOut != "" {
+		err := writeTo(*leakageOut, stdout, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(leakageReport())
+		})
+		if err != nil {
+			return fmt.Errorf("leakage report: %w", err)
+		}
+		if *leakageOut != "-" {
+			fmt.Fprintf(stderr, "[leakage report written to %s]\n", *leakageOut)
 		}
 	}
 

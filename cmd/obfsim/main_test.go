@@ -7,10 +7,12 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"slices"
 	"strconv"
 	"strings"
 	"testing"
 
+	"obfusmem/internal/leakage"
 	"obfusmem/internal/metrics"
 	"obfusmem/internal/trace"
 )
@@ -275,6 +277,51 @@ func TestTraceFaultedRun(t *testing.T) {
 	}
 }
 
+// TestLeakageReportEndToEnd drives -exp leakage with -leakage-out and
+// validates the machine-readable report: it must parse, cover every
+// registered backend in presentation order, and carry the in-range metric
+// fields the security table quotes. The sweep also runs at most once per
+// invocation — the table and the JSON quote the same report.
+func TestLeakageReportEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "leakage.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-exp", "leakage", "-requests", "600", "-leakage-out", out}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "leakage") {
+		t.Fatalf("leakage table not printed:\n%s", stdout.String())
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep leakage.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	var got []string
+	for _, s := range rep.Schemes {
+		got = append(got, s.Scheme)
+		if s.MIBitsPerRequest < 0 || s.RecoveryAccuracy < 0 || s.RecoveryAccuracy > 1 {
+			t.Errorf("%s: out-of-range metrics %+v", s.Scheme, s)
+		}
+		// The table quotes the report's numbers.
+		cell := fmt.Sprintf("%.4f", s.RecoveryAccuracy)
+		if !strings.Contains(stdout.String(), cell) {
+			t.Errorf("%s: table does not quote recovery %s", s.Scheme, cell)
+		}
+	}
+	for _, want := range []string{"unprotected", "encrypt-only", "obfusmem", "obfusmem-auth", "palermo", "oram"} {
+		if !slices.Contains(got, want) {
+			t.Errorf("report is missing scheme %q (got %v)", want, got)
+		}
+	}
+	if rep.Requests != 600 || rep.SeedCount < 2 || len(rep.Workloads) < 2 {
+		t.Errorf("report panel = requests %d, %d seeds, %v workloads", rep.Requests, rep.SeedCount, rep.Workloads)
+	}
+}
+
 // TestExpFaultsRuns drives the fault-injection experiment through the CLI.
 func TestExpFaultsRuns(t *testing.T) {
 	var stdout, stderr bytes.Buffer
@@ -297,6 +344,7 @@ func TestUnwritableOutputFailsFast(t *testing.T) {
 		{"-exp", "none", "-attrib-out", bad},
 		{"-exp", "none", "-metrics", "-metrics-out", bad},
 		{"-exp", "none", "-trace-out", "-", "-sample-every", "5", "-sample-out", bad},
+		{"-exp", "none", "-leakage-out", bad},
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer

@@ -12,6 +12,7 @@ import (
 	"obfusmem/internal/analysis/passes/eventref"
 	"obfusmem/internal/analysis/passes/hotpath"
 	"obfusmem/internal/analysis/passes/metricnames"
+	"obfusmem/internal/analysis/passes/wireonly"
 )
 
 // All returns the full obfuslint suite in reporting order.
@@ -21,5 +22,6 @@ func All() []*framework.Analyzer {
 		eventref.Analyzer,
 		hotpath.Analyzer,
 		metricnames.Analyzer,
+		wireonly.Analyzer,
 	}
 }

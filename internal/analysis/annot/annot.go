@@ -3,6 +3,7 @@
 //
 //	//obfus:hotpath      function is a zero-alloc hot leg (hotpath analyzer)
 //	//obfus:wallclock    function legitimately reads the wall clock
+//	//obfus:scoring      function may read attack ground truth (wireonly analyzer)
 //	//lint:allow <analyzer> <reason>   suppress one finding, with a reason
 //
 // The //obfus:* directives live in a function's doc comment and classify the
@@ -25,6 +26,7 @@ import (
 const (
 	Hotpath   = "hotpath"
 	Wallclock = "wallclock"
+	Scoring   = "scoring"
 )
 
 const (

@@ -1,0 +1,60 @@
+// Golden sources for the wireonly analyzer: inference and scoring code in
+// a leakage package, consuming the real attack and bus packages.
+package leakage
+
+import (
+	"obfusmem/internal/attack"
+	"obfusmem/internal/bus"
+)
+
+// Issued mirrors the real leakage package's ground-truth schedule entry.
+type Issued struct {
+	Addr  uint64
+	Write bool
+}
+
+func infersFromWire(w attack.Wire) uint64 { // wire view only: fine
+	return uint64(w.Channel) + uint64(w.Size) + uint64(w.Cmd[7])
+}
+
+func peeksAtTruth(t attack.Truth) uint64 {
+	return t.Addr // want "attack.Truth.Addr"
+}
+
+func peeksAtSchedule(rq Issued) uint64 {
+	return rq.Addr // want "Issued.Addr"
+}
+
+// Scoring: judges recovered guesses against the true schedule.
+//
+//obfus:scoring
+func scores(rq Issued, t attack.Truth) bool {
+	return rq.Addr == t.Addr && !t.Dummy // annotated: fine
+}
+
+func readsPacketWire(p *bus.Packet) int {
+	if p.HasCmd && !p.Plaintext { // wire-view fields: fine
+		return len(p.Data) + p.Channel
+	}
+	return 0
+}
+
+func readsPacketTruth(p *bus.Packet) uint64 {
+	if p.IsDummy { // want "bus.Packet.IsDummy"
+		return 0
+	}
+	return p.Addr // want "bus.Packet.Addr"
+}
+
+func pullsTruthTrace(o *attack.Observer) []attack.Truth {
+	return o.TruthTrace() // want "Observer.TruthTrace"
+}
+
+func wireTraceFine(o *attack.Observer) []attack.Wire {
+	return o.WireTrace() // wire view accessor: fine
+}
+
+func allowed(t attack.Truth) bool {
+	//lint:allow wireonly debugging helper kept out of the inference pipelines
+	return t.Dummy // suppressed: no finding
+}

@@ -1,0 +1,102 @@
+// Package wireonly machine-checks the leakage framework's wire-only
+// discipline: inference code may consume only the attacker-visible wire
+// view, never ground truth. The quantitative security claims in the leakage
+// matrix are only as honest as this boundary — an inference pipeline that
+// peeks at true addresses reports perfect "recovery" for every scheme.
+//
+// Within a leakage package (import path ending /leakage, or package name
+// "leakage" in golden tests) the analyzer reports, in any function NOT
+// annotated //obfus:scoring:
+//
+//   - field reads of attack.Truth, the ground-truth projection of a
+//     recorded transfer;
+//   - field reads of leakage's own Issued type, the true request schedule;
+//   - reads of bus.Packet's ground-truth fields (Type, Addr, IsDummy,
+//     Counter, Seq, Control) — the wire-view fields (CmdCipher, HasCmd,
+//     Data, MAC, HasMAC, Channel, Dir, Plaintext) stay fair game;
+//   - calls of Observer.TruthTrace, the scoring-only trace accessor.
+//
+// Scoring functions — judging recovered guesses, planting known-plaintext
+// anchors, pairing request symbols with wire symbols — legitimately touch
+// ground truth and declare it with //obfus:scoring in their doc comment,
+// which is the audited list of such sites.
+package wireonly
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"obfusmem/internal/analysis/annot"
+	"obfusmem/internal/analysis/framework"
+)
+
+// Analyzer is the wireonly pass.
+var Analyzer = &framework.Analyzer{
+	Name: "wireonly",
+	Doc:  "forbids ground-truth access in leakage inference code outside //obfus:scoring functions",
+	Run:  run,
+}
+
+// packetTruth lists bus.Packet's ground-truth fields; the remaining fields
+// are the wire view.
+var packetTruth = map[string]bool{
+	"Type": true, "Addr": true, "IsDummy": true,
+	"Counter": true, "Seq": true, "Control": true,
+}
+
+func run(pass *framework.Pass) error {
+	if !strings.HasSuffix(pass.Pkg.Path(), "/leakage") && pass.Pkg.Name() != "leakage" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || pass.Annot.FuncHas(fn, annot.Scoring) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				check(pass, sel)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// check reports sel when it reaches ground truth: a banned field access or
+// a TruthTrace call.
+func check(pass *framework.Pass, sel *ast.SelectorExpr) {
+	xt := pass.TypesInfo.TypeOf(sel.X)
+	if xt == nil {
+		return
+	}
+	recv, pkg := namedOf(xt)
+	switch {
+	case recv == "Truth" && pkg == "attack":
+		pass.Reportf(sel.Pos(), "inference code reads attack.Truth.%s: ground truth is for //obfus:scoring functions only", sel.Sel.Name)
+	case recv == "Issued" && pkg == "leakage":
+		pass.Reportf(sel.Pos(), "inference code reads Issued.%s (the true request schedule): ground truth is for //obfus:scoring functions only", sel.Sel.Name)
+	case recv == "Packet" && pkg == "bus" && packetTruth[sel.Sel.Name]:
+		pass.Reportf(sel.Pos(), "inference code reads bus.Packet.%s, a ground-truth field: consume the attack.Wire view instead", sel.Sel.Name)
+	case recv == "Observer" && pkg == "attack" && sel.Sel.Name == "TruthTrace":
+		pass.Reportf(sel.Pos(), "inference code calls Observer.TruthTrace: the ground-truth trace is for //obfus:scoring functions only")
+	}
+}
+
+// namedOf resolves a (possibly pointer) type to its named type and
+// declaring package name.
+func namedOf(t types.Type) (name, pkg string) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return n.Obj().Name(), n.Obj().Pkg().Name()
+}

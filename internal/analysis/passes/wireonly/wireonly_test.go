@@ -1,0 +1,12 @@
+package wireonly_test
+
+import (
+	"testing"
+
+	"obfusmem/internal/analysis/analysistest"
+	"obfusmem/internal/analysis/passes/wireonly"
+)
+
+func TestWireOnlyDiscipline(t *testing.T) {
+	analysistest.Run(t, "wireonly", "obfusmem/lint/leakage", wireonly.Analyzer)
+}

@@ -1,0 +1,70 @@
+package attack
+
+import (
+	"reflect"
+	"testing"
+
+	"obfusmem/internal/bus"
+	"obfusmem/internal/sim"
+)
+
+// TestWireViewCarriesNoGroundTruth pins the Wire struct to the wire-only
+// field set: adding a ground-truth field (address, request type, dummy
+// flag) to the attacker's view must fail here before any inference code can
+// consume it.
+func TestWireViewCarriesNoGroundTruth(t *testing.T) {
+	allowed := map[string]bool{
+		"At": true, "Channel": true, "Dir": true,
+		"Cmd": true, "HasCmd": true, "Size": true, "Plaintext": true,
+	}
+	wt := reflect.TypeOf(Wire{})
+	for i := 0; i < wt.NumField(); i++ {
+		if name := wt.Field(i).Name; !allowed[name] {
+			t.Errorf("Wire.%s is not part of the attacker-visible wire view", name)
+		}
+	}
+	for _, banned := range []string{"Addr", "Type", "IsDummy", "Dummy", "Counter", "Seq", "Data"} {
+		if _, ok := wt.FieldByName(banned); ok {
+			t.Errorf("Wire exposes ground-truth field %s", banned)
+		}
+	}
+}
+
+// TestTraceViewsParallel checks WireTrace and TruthTrace describe the same
+// transfers index for index.
+func TestTraceViewsParallel(t *testing.T) {
+	o := NewObserver(2, 100)
+	pkts := []bus.Packet{
+		{Channel: 0, Dir: bus.ProcToMem, HasCmd: true, Type: bus.Read, Addr: 0x4000},
+		{Channel: 1, Dir: bus.ProcToMem, HasCmd: true, Type: bus.Write, Addr: 0x8040, IsDummy: true},
+		{Channel: 0, Dir: bus.MemToProc, Data: make([]byte, bus.DataBytes), Type: bus.Read, Addr: 0x4000},
+	}
+	for i := range pkts {
+		pkts[i].CmdCipher[0] = byte(i + 1)
+		o.Observe(sim.Time(100*(i+1)), &pkts[i])
+	}
+
+	wire, truth := o.WireTrace(), o.TruthTrace()
+	if len(wire) != len(pkts) || len(truth) != len(pkts) {
+		t.Fatalf("lengths: wire %d, truth %d, want %d", len(wire), len(truth), len(pkts))
+	}
+	for i, p := range pkts {
+		if wire[i].Channel != p.Channel || wire[i].Dir != p.Dir ||
+			wire[i].HasCmd != p.HasCmd || wire[i].Cmd != p.CmdCipher ||
+			wire[i].At != sim.Time(100*(i+1)) || wire[i].Size != p.WireBytes() {
+			t.Errorf("wire[%d] = %+v does not match packet %+v", i, wire[i], p)
+		}
+		if truth[i].Addr != p.Addr || truth[i].Type != p.Type || truth[i].Dummy != p.IsDummy {
+			t.Errorf("truth[%d] = %+v does not match packet %+v", i, truth[i], p)
+		}
+	}
+
+	// The observer's retention limit applies to the views too.
+	small := NewObserver(1, 2)
+	for i := range pkts {
+		small.Observe(sim.Time(i), &pkts[i])
+	}
+	if got := len(small.WireTrace()); got != 2 {
+		t.Errorf("limited observer retained %d transfers, want 2", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"obfusmem/internal/cpu"
 	"obfusmem/internal/fault"
+	"obfusmem/internal/leakage"
 	"obfusmem/internal/obfus"
 	"obfusmem/internal/stats"
 	"obfusmem/internal/system"
@@ -69,8 +70,15 @@ func Backends(opts Options) *stats.Table {
 	}
 	res := runSuite(opts, specs)
 
+	// Security columns come from the same sweep the -exp leakage matrix
+	// runs, so the two tables always agree for a given seed.
+	leak := make(map[string]leakage.SchemeLeakage)
+	for _, s := range LeakageReport(opts).Schemes {
+		leak[s.Scheme] = s
+	}
+
 	t := stats.NewTable("Backend head-to-head: registered schemes on identical workloads, seeds, and faults (2 channels)",
-		"Scheme", "Overhead", "Read ns", "vs ORAM", "Issued", "Done", "Lost", "Refused", "Ledger")
+		"Scheme", "Overhead", "Read ns", "vs ORAM", "MI b/req", "Recov", "Class adv", "Issued", "Done", "Lost", "Refused", "Ledger")
 	for _, n := range names {
 		var ov, rd, sp []float64
 		for _, p := range workload.SPEC2006() {
@@ -100,6 +108,9 @@ func Backends(opts Options) *stats.Table {
 			fmt.Sprintf("%.1f%%", stats.Mean(ov)),
 			fmt.Sprintf("%.1f", stats.Mean(rd)),
 			fmt.Sprintf("%.1fx", stats.Mean(sp)),
+			fmt.Sprintf("%.4f", leak[n].MIBitsPerRequest),
+			fmt.Sprintf("%.4f", leak[n].RecoveryAccuracy),
+			fmt.Sprintf("%.4f", leak[n].ClassifierAdvantage),
 			fmt.Sprintf("%d", acct.Issued),
 			fmt.Sprintf("%d", acct.Completed),
 			fmt.Sprintf("%d", acct.Lost),
@@ -110,5 +121,6 @@ func Backends(opts Options) *stats.Table {
 	t.AddNote("overhead/read-latency/speedup: means over the SPEC suite vs unprotected and ORAM on the same traces")
 	t.AddNote("Issued..Refused: request ledger of a milc run at fault rate %g; Ledger checks Issued == Done + Lost + Refused", backendFaultRate)
 	t.AddNote("schemes without recovery surface faulted requests as Lost (also the fault.lost_requests metric) instead of dropping them silently")
+	t.AddNote("MI/Recov/Class adv: leakage quantification (see -exp leakage for the full matrix and methodology)")
 	return t
 }

@@ -1,0 +1,100 @@
+// Workload identification: how well does the wire trace alone tell an
+// adversary *which program* is running? A nearest-centroid classifier over
+// TraceFeatures vectors, evaluated leave-one-seed-out, reported as advantage
+// over random guessing. Inference code: the feature vectors are wire-only by
+// construction, and workload labels enter only as the evaluation fold
+// structure (the standard supervised-attack setting — the adversary trains
+// on traces of programs it ran itself).
+package leakage
+
+import "math"
+
+// ClassifierAccuracy evaluates nearest-centroid workload identification on
+// vectors[workload][seed] (every workload must have the same seed count).
+// For each held-out seed the remaining seeds form the training set; features
+// are z-scored with training statistics and the held-out trace goes to the
+// nearest centroid, ties and degenerate training sets breaking toward the
+// lowest workload index. Returns mean accuracy over all folds, or chance
+// (1/len(vectors)) when there are fewer than two seeds to fold over.
+func ClassifierAccuracy(vectors [][][]float64) float64 {
+	w := len(vectors)
+	if w == 0 {
+		return 0
+	}
+	s := len(vectors[0])
+	if s < 2 {
+		return 1 / float64(w)
+	}
+
+	correct, total := 0, 0
+	for hold := 0; hold < s; hold++ {
+		// Training statistics over every workload's non-held-out seeds.
+		mean := make([]float64, FeatureDim)
+		m2 := make([]float64, FeatureDim)
+		n := 0
+		for wi := 0; wi < w; wi++ {
+			for si := 0; si < s; si++ {
+				if si == hold {
+					continue
+				}
+				n++
+				for d, x := range vectors[wi][si] {
+					mean[d] += x
+					m2[d] += x * x
+				}
+			}
+		}
+		std := make([]float64, FeatureDim)
+		for d := range mean {
+			mean[d] /= float64(n)
+			v := m2[d]/float64(n) - mean[d]*mean[d]
+			if v > 0 {
+				std[d] = math.Sqrt(v)
+			}
+		}
+		z := func(vec []float64) []float64 {
+			out := make([]float64, FeatureDim)
+			for d, x := range vec {
+				if std[d] > 0 {
+					out[d] = (x - mean[d]) / std[d]
+				}
+			}
+			return out
+		}
+
+		// Per-workload centroids in z-space.
+		centroids := make([][]float64, w)
+		for wi := 0; wi < w; wi++ {
+			c := make([]float64, FeatureDim)
+			for si := 0; si < s; si++ {
+				if si == hold {
+					continue
+				}
+				for d, x := range z(vectors[wi][si]) {
+					c[d] += x / float64(s-1)
+				}
+			}
+			centroids[wi] = c
+		}
+
+		// Classify each held-out trace.
+		for wi := 0; wi < w; wi++ {
+			q := z(vectors[wi][hold])
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centroids {
+				var d2 float64
+				for d := range q {
+					d2 += (q[d] - c[d]) * (q[d] - c[d])
+				}
+				if d2 < bestD {
+					best, bestD = ci, d2
+				}
+			}
+			total++
+			if best == wi {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(total)
+}

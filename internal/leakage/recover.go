@@ -1,0 +1,204 @@
+// The membus-style address-recovery pipeline (inference code, wire-only):
+// given the observed command stream and the attacker's known-plaintext
+// anchors, produce a row-granular address guess for every command transfer.
+//
+// The pipeline mirrors the off-chip attack's stages:
+//
+//   - Channel-occupancy fingerprinting: addresses map to channels by a
+//     fixed interleave, so a channel pin localises an access to an address
+//     region; the per-channel state the anchors seed is that fingerprint.
+//   - Inter-arrival clustering: a deterministic 1-D 2-means splits each
+//     channel's command gaps into short (row-hit-like: the access stayed
+//     in the open row) and long (row-miss-like: it moved) clusters.
+//   - Sequential-stride inference: the modal row delta between consecutive
+//     anchors on a channel extrapolates where row-miss accesses moved to.
+//
+// On a plaintext bus none of that machinery is needed: the command field
+// carries the address and the pipeline simply parses it — which is exactly
+// why the unprotected and encrypt-only rows of the leakage matrix recover
+// nearly everything.
+package leakage
+
+import (
+	"slices"
+
+	"obfusmem/internal/attack"
+	"obfusmem/internal/sim"
+)
+
+// RowGuess is the pipeline's verdict on one wire transfer: the inferred
+// row (Addr/RowBytes), valid only when Guessed is set.
+type RowGuess struct {
+	Row     uint64
+	Guessed bool
+}
+
+// Anchor is one known-plaintext foothold: the attacker knows the true row
+// behind the command transfer at WireIndex (it primed that access itself).
+type Anchor struct {
+	WireIndex int
+	Row       uint64
+}
+
+// RecoverRows runs the pipeline over the trace and returns one guess per
+// wire index (non-command transfers stay unguessed).
+func RecoverRows(wire []attack.Wire, anchors []Anchor) []RowGuess {
+	out := make([]RowGuess, len(wire))
+	cmds := cmdIndices(wire)
+	if len(cmds) == 0 {
+		return out
+	}
+
+	channels := 1
+	for _, i := range cmds {
+		if wire[i].Channel+1 > channels {
+			channels = wire[i].Channel + 1
+		}
+	}
+
+	anchorRow := make(map[int]uint64, len(anchors))
+	for _, a := range anchors {
+		anchorRow[a.WireIndex] = a.Row
+	}
+
+	// Stage 1+3 seed: per-channel anchor rows in trace order, for the
+	// fingerprint and the stride estimate.
+	anchorRows := make([][]uint64, channels)
+	for _, i := range cmds {
+		if row, ok := anchorRow[i]; ok {
+			ch := wire[i].Channel
+			anchorRows[ch] = append(anchorRows[ch], row)
+		}
+	}
+	stride := make([]int64, channels)
+	for ch := range stride {
+		stride[ch] = modalDelta(anchorRows[ch])
+	}
+
+	// Stage 2: per-channel inter-arrival threshold.
+	gaps := make([][]float64, channels)
+	lastAt := make([]sim.Time, channels)
+	seen := make([]bool, channels)
+	for _, i := range cmds {
+		ch := wire[i].Channel
+		if seen[ch] {
+			gaps[ch] = append(gaps[ch], (wire[i].At - lastAt[ch]).Float64Nanos())
+		}
+		lastAt[ch], seen[ch] = wire[i].At, true
+	}
+	thr := make([]float64, channels)
+	for ch := range thr {
+		thr[ch] = interArrivalThreshold(gaps[ch])
+	}
+
+	// Walk the command stream.
+	lastRow := make([]uint64, channels)
+	haveRow := make([]bool, channels)
+	prevAt := make([]sim.Time, channels)
+	started := make([]bool, channels)
+	for _, i := range cmds {
+		w := wire[i]
+		ch := w.Channel
+		switch {
+		case w.Plaintext:
+			// Plaintext bus: the address is on the wire (bytes 1..8 of the
+			// command field, big-endian), no inference needed.
+			var addr uint64
+			for b := 0; b < 8; b++ {
+				addr = addr<<8 | uint64(w.Cmd[1+b])
+			}
+			out[i] = RowGuess{Row: addr / RowBytes, Guessed: true}
+		case hasAnchor(anchorRow, i):
+			row := anchorRow[i]
+			out[i] = RowGuess{Row: row, Guessed: true}
+			lastRow[ch], haveRow[ch] = row, true
+		case haveRow[ch]:
+			row := lastRow[ch]
+			if started[ch] && (w.At-prevAt[ch]).Float64Nanos() > thr[ch] {
+				// Row-miss-like gap: extrapolate along the modal stride.
+				next := int64(row) + stride[ch]
+				if next < 0 {
+					next = 0
+				}
+				row = uint64(next)
+			}
+			out[i] = RowGuess{Row: row, Guessed: true}
+			lastRow[ch] = row
+		}
+		prevAt[ch], started[ch] = w.At, true
+	}
+	return out
+}
+
+// hasAnchor distinguishes "anchored at row 0" from "no anchor".
+func hasAnchor(m map[int]uint64, i int) bool {
+	_, ok := m[i]
+	return ok
+}
+
+// interArrivalThreshold separates a channel's command gaps into two
+// clusters with a deterministic 1-D 2-means (centroids seeded at min and
+// max, fixed iteration count) and returns the midpoint between the final
+// centroids. Degenerate inputs put every gap in the short cluster.
+func interArrivalThreshold(gaps []float64) float64 {
+	if len(gaps) == 0 {
+		return 0
+	}
+	lo, hi := gaps[0], gaps[0]
+	for _, g := range gaps {
+		if g < lo {
+			lo = g
+		}
+		if g > hi {
+			hi = g
+		}
+	}
+	if lo == hi {
+		return hi + 1
+	}
+	c0, c1 := lo, hi
+	for iter := 0; iter < 10; iter++ {
+		mid := (c0 + c1) / 2
+		var s0, s1 float64
+		var n0, n1 int
+		for _, g := range gaps {
+			if g <= mid {
+				s0 += g
+				n0++
+			} else {
+				s1 += g
+				n1++
+			}
+		}
+		if n0 > 0 {
+			c0 = s0 / float64(n0)
+		}
+		if n1 > 0 {
+			c1 = s1 / float64(n1)
+		}
+	}
+	return (c0 + c1) / 2
+}
+
+// modalDelta returns the most frequent difference between consecutive
+// values (ties broken toward the smaller delta), or 0 with fewer than two
+// samples — the stride estimate of the sequential-inference stage.
+func modalDelta(rows []uint64) int64 {
+	counts := make(map[int64]int)
+	for k := 1; k < len(rows); k++ {
+		counts[int64(rows[k])-int64(rows[k-1])]++
+	}
+	deltas := make([]int64, 0, len(counts))
+	for d := range counts {
+		deltas = append(deltas, d)
+	}
+	slices.Sort(deltas)
+	var best int64
+	bestN := 0
+	for _, d := range deltas {
+		if counts[d] > bestN {
+			best, bestN = d, counts[d]
+		}
+	}
+	return best
+}

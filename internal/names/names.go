@@ -33,6 +33,12 @@ func PerChannel(base Name, ch int) Name {
 // Dummy marks a span name as describing dummy (obfuscation) traffic.
 func Dummy(n Name) Name { return n + ".dummy" }
 
+// Scheme converts a registered backend scheme name (see internal/backend's
+// registry) into a Name, so per-scheme metric scopes like
+// "leakage.obfusmem-auth" can be derived without laundering arbitrary
+// strings: scheme names are themselves a closed, registry-audited set.
+func Scheme(scheme string) Name { return Name(scheme) }
+
 // Metric scopes, one per instrumented component.
 const (
 	ScopeSim     Name = "sim"
@@ -42,6 +48,19 @@ const (
 	ScopeMemctl  Name = "memctl"
 	ScopePCM     Name = "pcm"
 	ScopePalermo Name = "palermo"
+	ScopeLeakage Name = "leakage"
+)
+
+// Leakage-observatory metrics (internal/leakage), recorded per scheme under
+// "leakage.<scheme>" (see Scheme). Gauges hold the aggregated scores of one
+// leakage sweep; WirePackets counts the observed evidence they rest on.
+const (
+	LeakMIBitsPerReq       Name = "mi_bits_per_request"
+	LeakMIPluginBitsPerReq Name = "mi_plugin_bits_per_request"
+	LeakRecoveryAccuracy   Name = "recovery_accuracy"
+	LeakClassifierAdv      Name = "classifier_advantage"
+	LeakWirePackets        Name = "wire_packets"
+	LeakAnchors            Name = "anchors"
 )
 
 // Simulation-engine metrics (internal/sim).
@@ -182,6 +201,15 @@ const (
 	SpanPalermoProtocol Name = "protocol"
 	SpanPathRead        Name = "path-read"
 	SpanEvictFlush      Name = "evict-flush"
+)
+
+// Leakage-analysis phase spans (internal/leakage): one span per pipeline
+// phase of a trace evaluation, extending over the observed wire window.
+const (
+	SpanLeakFeatures Name = "leakage-features"
+	SpanLeakRecover  Name = "leakage-recover"
+	SpanLeakScore    Name = "leakage-score"
+	SpanLeakMI       Name = "leakage-mi"
 )
 
 // Cache-hierarchy spans (internal/cache).

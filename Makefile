@@ -13,6 +13,10 @@
 #   make bench-smoke - fast perf gate: the zero-alloc guards plus short
 #                  benchmarks of the event engine and the obfus datapath;
 #                  fails if the alloc guards regress (runs in CI)
+#   make campaign-smoke - end-to-end crash/resume gate: runs a small real
+#                  campaign, SIGKILLs it mid-grid, resumes, and fails unless
+#                  the merged results are byte-identical to an uninterrupted
+#                  run (runs in CI; see EXPERIMENTS.md "Running campaigns")
 #   make profile - full-suite run with pprof CPU + heap profiles written to
 #                  cpu.pprof / mem.pprof (see EXPERIMENTS.md "Profiling and
 #                  benchmarking" for how to read them)
@@ -30,7 +34,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint lint-fix race race-full bench bench-smoke profile ci trace-demo
+.PHONY: check vet lint lint-fix race race-full bench bench-smoke campaign-smoke profile ci trace-demo
 
 check:
 	$(GO) build ./...
@@ -73,13 +77,17 @@ bench-smoke:
 	$(GO) test -run 'TestHotPathZeroAllocs|TestNoSilentlyLostRequests' ./internal/backend
 	$(GO) run ./cmd/obfsim -exp backends -requests 1500 > /dev/null
 	$(GO) run ./cmd/obfsim -exp leakage -requests 1500 > /dev/null
+	$(MAKE) campaign-smoke
+
+campaign-smoke:
+	sh scripts/campaign_smoke.sh
 
 profile:
 	$(GO) run ./cmd/obfsim -exp all -requests 5000 \
 		-cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
 	@echo "profiles written; inspect with: $(GO) tool pprof -top cpu.pprof"
 
-ci: lint vet check race bench-smoke
+ci: lint vet check race bench-smoke campaign-smoke
 
 trace-demo:
 	$(GO) run ./cmd/obfsim -exp none -requests 4000 \

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"obfusmem/internal/campaign"
+)
+
+// smokeManifest is a small but real grid: 2 schemes x 2 workloads x 2
+// fault rates x 1 seed = 8 cells.
+const smokeManifest = `{
+  "name": "cli-smoke",
+  "requests": 200,
+  "schemes": ["unprotected", "obfusmem-auth"],
+  "workloads": ["milc", "mcf"],
+  "faultRates": [0, 0.001],
+  "seeds": [1]
+}`
+
+func writeManifest(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "manifest.json")
+	if err := os.WriteFile(path, []byte(smokeManifest), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCampaignEndToEnd drives obfsim -campaign in-process: a full run
+// produces the summary on stdout and a merged artifact, and a re-run
+// resumes entirely from the journal without recomputing anything.
+func TestCampaignEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir)
+	out := filepath.Join(dir, "camp")
+
+	var stdout, stderr bytes.Buffer
+	args := []string{"-campaign", manifest, "-campaign-out", out, "-workers", "2"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, stderr.String())
+	}
+	var sum campaign.Summary
+	if err := json.Unmarshal(stdout.Bytes(), &sum); err != nil {
+		t.Fatalf("stdout is not a summary: %v\n%s", err, stdout.String())
+	}
+	if sum.Done != 8 || sum.Failed != 0 || !sum.Complete {
+		t.Fatalf("summary %+v, want 8 done / complete", sum.Progress)
+	}
+	merged, err := os.ReadFile(filepath.Join(out, campaign.ResultsFile))
+	if err != nil {
+		t.Fatalf("merged results not written: %v", err)
+	}
+
+	// Resume: everything comes from the journal, results stay identical.
+	stdout.Reset()
+	stderr.Reset()
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("resume: %v\nstderr: %s", err, stderr.String())
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Resumed != 8 || !sum.Complete {
+		t.Fatalf("resume summary %+v, want 8 resumed / complete", sum.Progress)
+	}
+	again, err := os.ReadFile(filepath.Join(out, campaign.ResultsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, again) {
+		t.Fatal("resume rewrote different merged bytes")
+	}
+}
+
+// TestCampaignMetricsSnapshot: -campaign composes with -metrics-out.
+func TestCampaignMetricsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir)
+	snap := filepath.Join(dir, "metrics.json")
+
+	var stdout, stderr bytes.Buffer
+	args := []string{"-campaign", manifest, "-campaign-out", filepath.Join(dir, "camp"),
+		"-metrics-out", snap}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, stderr.String())
+	}
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("metrics snapshot not written: %v", err)
+	}
+	var m struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["campaign.cells_done"] != 8 {
+		t.Errorf("campaign.cells_done = %d, want 8", m.Counters["campaign.cells_done"])
+	}
+	if m.Counters["bus.ch0.read_packets"] == 0 {
+		t.Error("cell machines did not reach the shared registry")
+	}
+}
+
+// TestCampaignUnwritableDirFailsFast: the preflight must reject an
+// unwritable -campaign-out before any simulation work starts.
+func TestCampaignUnwritableDirFailsFast(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir)
+	locked := filepath.Join(dir, "locked")
+	if err := os.Mkdir(locked, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-campaign", manifest, "-campaign-out", filepath.Join(locked, "camp")},
+		&stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "campaign-out") {
+		t.Fatalf("unwritable campaign dir accepted: %v", err)
+	}
+}
+
+// TestCampaignBadManifestFailsFast: a manifest typo dies with a clear
+// error, not a shrunken grid.
+func TestCampaignBadManifestFailsFast(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"name":"x","requests":100,"schemes":["unprotected"],"workloads":["milc"],"seedz":[1]}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-campaign", path, "-campaign-out", filepath.Join(dir, "camp")}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "seedz") {
+		t.Fatalf("typo'd manifest accepted: %v", err)
+	}
+}

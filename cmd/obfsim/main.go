@@ -30,6 +30,15 @@
 // invocation (see `make profile` and the "Profiling and benchmarking"
 // section of EXPERIMENTS.md), and -workers sizes the benchmark worker pool
 // (0 = one per CPU).
+//
+// With -campaign manifest.json the program instead runs (or resumes) a
+// journaled campaign: the manifest's scheme x workload x fault-rate x seed
+// grid, executed cell by cell into an append-only crash-safe journal under
+// -campaign-out, with a read-only status endpoint on -campaign-addr. A
+// killed or interrupted campaign resumes from the journal and merges to
+// bit-identical results (see the "Running campaigns" section of
+// EXPERIMENTS.md). SIGINT drains in-flight work and exits cleanly — for
+// campaigns and long -exp runs alike.
 package main
 
 import (
@@ -78,6 +87,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		useMetrics = fs.Bool("metrics", false, "record per-component observability metrics (small overhead)")
 		metricsOut = fs.String("metrics-out", "metrics.json", "file for the metrics JSON snapshot (\"-\" for stdout); implies -metrics")
 		leakageOut = fs.String("leakage-out", "", "machine-readable leakage report JSON (\"-\" for stdout); implies the -exp leakage sweep")
+
+		campaignPath = fs.String("campaign", "", "campaign manifest JSON: run (or resume) the journaled grid it defines and exit (see EXPERIMENTS.md)")
+		campaignOut  = fs.String("campaign-out", "campaign-out", "campaign directory holding the journal and merged results")
+		campaignAddr = fs.String("campaign-addr", "", "serve the read-only campaign status endpoint on this address (e.g. 127.0.0.1:8080)")
 
 		traceOut    = fs.String("trace-out", "", "Chrome trace-event JSON for a dedicated traced run (\"-\" for stdout); enables tracing")
 		traceLimit  = fs.Int("trace-limit", trace.DefaultLimit, "trace ring-buffer capacity in spans (oldest evicted beyond it)")
@@ -164,6 +177,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 		opts.Metrics = reg
 	}
 
+	// The first SIGINT cancels ctx: campaigns drain and commit in-flight
+	// cells; experiment suites stop between benchmarks and flush whatever
+	// partial outputs exist. A second SIGINT kills the process.
+	ctx, cancel := interruptContext(stderr)
+	defer cancel()
+	opts.Interrupted = func() bool { return ctx.Err() != nil }
+
+	if *campaignPath != "" {
+		cw := *workers
+		if *serial {
+			cw = 1
+		}
+		cerr := runCampaignCmd(ctx, campaignOptions{
+			Manifest: *campaignPath,
+			Dir:      *campaignOut,
+			Addr:     *campaignAddr,
+			Workers:  cw,
+			Metrics:  reg,
+		}, stdout, stderr)
+		if reg != nil {
+			if serr := writeSnapshot(reg, *metricsOut, stdout); serr != nil && cerr == nil {
+				cerr = serr
+			} else if *metricsOut != "-" {
+				fmt.Fprintf(stderr, "[metrics snapshot written to %s]\n", *metricsOut)
+			}
+		}
+		return cerr
+	}
+
 	// The leakage sweep is computed at most once per invocation: the -exp
 	// leakage table and the -leakage-out JSON render the same report.
 	var leakReport *leakage.Report
@@ -206,8 +248,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		names = []string{*which}
 	}
 	for _, n := range names {
+		if ctx.Err() != nil {
+			fmt.Fprintf(stderr, "[interrupted: skipping %s and later experiments]\n", n)
+			break
+		}
 		start := time.Now()
 		t := runners[n]()
+		if ctx.Err() != nil {
+			// The pool stopped dispatching mid-suite; the table would mix
+			// real and never-run rows, so discard it rather than mislead.
+			fmt.Fprintf(stderr, "[interrupted: %s partial table discarded]\n", n)
+			break
+		}
 		if *csv {
 			fmt.Fprint(stdout, t.CSV())
 		} else {
@@ -225,7 +277,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	if *leakageOut != "" {
+	if *leakageOut != "" && ctx.Err() != nil && leakReport == nil {
+		// Interrupted before the leakage sweep ran: don't start a fresh
+		// multi-scheme sweep now — flush only what already exists.
+		fmt.Fprintln(stderr, "[interrupted: leakage report skipped]")
+	} else if *leakageOut != "" {
 		err := writeTo(*leakageOut, stdout, func(w io.Writer) error {
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
@@ -254,6 +310,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		SampleOut:     *sampleOut,
 	}
 	if topts.enabled() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(stderr, "[interrupted: traced run skipped]")
+			return nil
+		}
 		if err := traceRun(topts, stdout, stderr); err != nil {
 			return err
 		}

@@ -11,6 +11,7 @@
 package cpu
 
 import (
+	"fmt"
 	"sort"
 
 	"obfusmem/internal/names"
@@ -45,6 +46,16 @@ type Config struct {
 	// Sampler, when non-nil, is poked with sim-time progress so it can
 	// snapshot the metrics registry on its fixed interval. Nil disables.
 	Sampler *trace.Sampler
+	// SimBudget, when > 0, is a deadline on the run's simulated clock: if
+	// the model's time passes the budget before the request stream is
+	// exhausted, the drive loop raises a typed *BudgetError panic. The
+	// budget is a robustness backstop, not a modelling knob — a run whose
+	// simulated time diverges (a backend latency bug, a pathological
+	// retry loop) is detected deterministically instead of spinning the
+	// worker that hosts it. The campaign runner recovers the panic at the
+	// cell boundary and records the cell as failed; direct callers that
+	// set SimBudget must be prepared to recover it themselves.
+	SimBudget sim.Time
 }
 
 // DefaultConfig matches the calibration in DESIGN.md.
@@ -112,6 +123,7 @@ func drive(name string, stream requestSource, n int, sys MemorySystem, cfg Confi
 		d := DefaultConfig()
 		d.Trace = cfg.Trace
 		d.Sampler = cfg.Sampler
+		d.SimBudget = cfg.SimBudget
 		cfg = d
 	}
 	res := Result{Benchmark: name}
@@ -122,6 +134,9 @@ func drive(name string, stream requestSource, n int, sys MemorySystem, cfg Confi
 	for i := 0; i < n; i++ {
 		req := stream.Next()
 		now += req.Gap
+		if cfg.SimBudget > 0 && now > cfg.SimBudget {
+			panic(&BudgetError{Benchmark: name, Now: now, Budget: cfg.SimBudget, Requests: uint64(i)})
+		}
 		cfg.Sampler.Advance(now)
 		if req.Write {
 			res.Writes++
@@ -182,6 +197,24 @@ func insertSorted(ts []sim.Time, t sim.Time) []sim.Time {
 	copy(ts[i+1:], ts[i:])
 	ts[i] = t
 	return ts
+}
+
+// BudgetError is the typed panic value raised by the drive loop when a
+// run's simulated clock exceeds Config.SimBudget. It deliberately travels
+// as a panic: MemorySystem has no error channel on the request path, and
+// the budget exists precisely for runs whose control flow can no longer be
+// trusted to return. Recover it at a job boundary (the campaign runner and
+// the exp worker pool both do) and treat the run as failed.
+type BudgetError struct {
+	Benchmark string
+	Now       sim.Time // simulated time at detection
+	Budget    sim.Time // the configured deadline
+	Requests  uint64   // requests completed before the deadline hit
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("cpu: %s exceeded simulated budget: now %v > budget %v after %d requests",
+		e.Benchmark, e.Now, e.Budget, e.Requests)
 }
 
 // Overhead returns (exec - base) / base as a percentage.

@@ -6,7 +6,6 @@ package exp
 
 import (
 	"runtime"
-	"sync"
 
 	"obfusmem/internal/cpu"
 	"obfusmem/internal/metrics"
@@ -36,6 +35,12 @@ type Options struct {
 	// suite: all runs aggregate into one registry (instruments are
 	// atomic, so this is safe under Parallel).
 	Metrics *metrics.Registry
+	// Interrupted, when non-nil, is polled by the worker pool before each
+	// job dispatch; once it reports true no further runs start and the
+	// suite returns with whatever completed (slots of undispatched jobs
+	// stay zero). obfsim wires SIGINT to this so a long sweep cancels at
+	// run granularity instead of dying mid-write.
+	Interrupted func() bool
 }
 
 // workerCount resolves the effective pool size.
@@ -95,7 +100,10 @@ func runSeed(global uint64, p workload.Profile) uint64 {
 // opts.workerCount() goroutines. Each job writes its result to a dedicated
 // slot (no shared-map mutex on the run path); the result maps are
 // pre-sized and assembled after the pool drains, so the output is
-// identical for any worker count.
+// identical for any worker count. A panicking run is recovered at the job
+// boundary (RunJobs), the remaining runs complete, and the first panic is
+// re-raised only after the pool drains — so a crash in one benchmark can
+// no longer silently discard the rest of a long sweep mid-flight.
 func runSuite(opts Options, specs []ModeSpec) suiteResult {
 	profiles := workload.SPEC2006()
 	type job struct {
@@ -109,35 +117,16 @@ func runSuite(opts Options, specs []ModeSpec) suiteResult {
 		}
 	}
 	results := make([]cpu.Result, len(jobs))
-	run := func(i int) {
+	errs := RunJobs(opts.workerCount(), len(jobs), opts.Interrupted, func(i int) {
 		j := jobs[i]
 		cfg := j.spec.Cfg
 		cfg.Seed = runSeed(opts.Seed, j.prof)
 		cfg.Metrics = opts.Metrics
 		sys := system.New(cfg)
 		results[i] = cpu.Run(j.prof, opts.Requests, sys, opts.CPU, opts.Seed+7)
-	}
-	if workers := opts.workerCount(); workers <= 1 {
-		for i := range jobs {
-			run(i)
-		}
-	} else {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					run(i)
-				}
-			}()
-		}
-		for i := range jobs {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
+	})
+	if err := firstError(errs); err != nil {
+		panic(err)
 	}
 	out := make(suiteResult, len(specs))
 	for _, s := range specs {

@@ -1,8 +1,6 @@
 package exp
 
 import (
-	"sync"
-
 	"obfusmem/internal/attack"
 	"obfusmem/internal/cpu"
 	"obfusmem/internal/leakage"
@@ -51,7 +49,7 @@ func LeakageReport(opts Options) *leakage.Report {
 	}
 
 	results := make([]leakRun, len(jobs))
-	run := func(i int) {
+	errs := RunJobs(opts.workerCount(), len(jobs), opts.Interrupted, func(i int) {
 		j := jobs[i]
 		p, err := workload.ByName(j.bench)
 		if err != nil {
@@ -69,28 +67,9 @@ func LeakageReport(opts Options) *leakage.Report {
 		probe := leakage.NewProbe(sys)
 		cpu.Run(p, opts.Requests, probe, opts.CPU, opts.Seed+salt+3)
 		results[i] = leakRun{eval: leakage.Evaluate(obs.WireTrace(), probe.Issued(), nil)}
-	}
-	if workers := opts.workerCount(); workers <= 1 {
-		for i := range jobs {
-			run(i)
-		}
-	} else {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					run(i)
-				}
-			}()
-		}
-		for i := range jobs {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
+	})
+	if err := firstError(errs); err != nil {
+		panic(err)
 	}
 
 	byJob := make(map[job]leakage.Evaluation, len(jobs))

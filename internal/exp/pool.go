@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// JobPanicError is a panic recovered inside one worker-pool job. Before the
+// pool existed a panicking benchmark run took the whole process down —
+// including every other run's finished results. Now the panic is caught at
+// the job boundary, the goroutine stays alive for the remaining jobs, and
+// the failure is returned in the panicking job's own error slot so the
+// caller decides whether a partial suite is salvageable.
+type JobPanicError struct {
+	Job   int    // index of the job that panicked
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at recovery
+}
+
+func (e *JobPanicError) Error() string {
+	return fmt.Sprintf("job %d panicked: %v", e.Job, e.Value)
+}
+
+// RunJobs executes jobs 0..n-1 on a pool of `workers` goroutines (serially
+// when workers <= 1) and returns one error slot per job: nil for a job that
+// completed, *JobPanicError for one that panicked, and ErrSkipped for jobs
+// never dispatched because stop() returned true.
+//
+// The contract the experiment suites and the campaign runner both lean on:
+//
+//   - A panic in one job never aborts the others; every job that was
+//     dispatched runs to completion (or to its own recovered panic).
+//   - Results are deterministic for any worker count, because each job
+//     writes only its own slots (run's side effects and errs[i]).
+//   - stop, when non-nil, is polled before each dispatch; once it reports
+//     true no further jobs start, but in-flight jobs drain normally. This
+//     is the clean-cancellation hook SIGINT handling uses.
+func RunJobs(workers, n int, stop func() bool, run func(int)) []error {
+	errs := make([]error, n)
+	stopped := func() bool { return stop != nil && stop() }
+	guarded := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				errs[i] = &JobPanicError{Job: i, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		run(i)
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if stopped() {
+				errs[i] = ErrSkipped
+				continue
+			}
+			guarded(i)
+		}
+		return errs
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				guarded(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if stopped() {
+			errs[i] = ErrSkipped
+			continue
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return errs
+}
+
+// ErrSkipped marks a job slot that was never dispatched because the pool
+// was stopped (e.g. by SIGINT) before reaching it.
+var ErrSkipped = fmt.Errorf("job skipped: pool stopped before dispatch")
+
+// firstError returns the first non-skip error in errs, or nil.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil && err != ErrSkipped {
+			return err
+		}
+	}
+	return nil
+}

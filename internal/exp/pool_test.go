@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunJobsPanicIsolation injects a panicking job into the pool and
+// asserts the other jobs still complete, with the panic surfaced as a
+// typed *JobPanicError in the panicking job's own slot. Before RunJobs a
+// job panic crashed the whole process.
+func TestRunJobsPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 17
+		const bad = 5
+		done := make([]atomic.Bool, n)
+		errs := RunJobs(workers, n, nil, func(i int) {
+			if i == bad {
+				panic("injected cell failure")
+			}
+			done[i].Store(true)
+		})
+		for i := 0; i < n; i++ {
+			if i == bad {
+				continue
+			}
+			if !done[i].Load() {
+				t.Fatalf("workers=%d: job %d did not complete after job %d panicked", workers, i, bad)
+			}
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: job %d has spurious error %v", workers, i, errs[i])
+			}
+		}
+		var jp *JobPanicError
+		if !errors.As(errs[bad], &jp) {
+			t.Fatalf("workers=%d: job %d error = %v, want *JobPanicError", workers, bad, errs[bad])
+		}
+		if jp.Job != bad || jp.Value != "injected cell failure" {
+			t.Errorf("workers=%d: recovered %+v, want job %d / injected value", workers, jp, bad)
+		}
+		if len(jp.Stack) == 0 {
+			t.Errorf("workers=%d: no stack captured at recovery", workers)
+		}
+		if !strings.Contains(jp.Error(), "panicked") {
+			t.Errorf("error text %q does not describe the panic", jp.Error())
+		}
+	}
+}
+
+// TestRunJobsStop asserts that once the stop hook reports true, remaining
+// jobs are skipped with ErrSkipped instead of running.
+func TestRunJobsStop(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 50
+		var dispatched atomic.Int64
+		var stop atomic.Bool
+		errs := RunJobs(workers, n, stop.Load, func(i int) {
+			if dispatched.Add(1) == 10 {
+				stop.Store(true)
+			}
+		})
+		var skipped int
+		for _, err := range errs {
+			if err == ErrSkipped {
+				skipped++
+			} else if err != nil {
+				t.Fatalf("workers=%d: unexpected error %v", workers, err)
+			}
+		}
+		if skipped == 0 {
+			t.Fatalf("workers=%d: no jobs skipped after stop", workers)
+		}
+		if got := dispatched.Load(); got+int64(skipped) != n {
+			t.Fatalf("workers=%d: dispatched %d + skipped %d != %d", workers, got, skipped, n)
+		}
+	}
+}
+
+// TestRunSuitePanicDrains asserts the suite-level contract: a panic inside
+// one benchmark run is re-raised only after every other dispatched run
+// completed, so partial metrics/results of sibling jobs are not lost to a
+// mid-flight crash.
+func TestRunSuitePanicDrains(t *testing.T) {
+	var after atomic.Int64
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("pool swallowed the panic entirely; runSuite must re-raise after drain")
+			}
+		}()
+		errs := RunJobs(2, 4, nil, func(i int) {
+			if i == 0 {
+				panic("boom")
+			}
+			after.Add(1)
+		})
+		// This is exactly what runSuite does with the drained error slots.
+		if err := firstError(errs); err != nil {
+			panic(err)
+		}
+	}()
+	if after.Load() != 3 {
+		t.Fatalf("only %d sibling jobs completed before the re-raise", after.Load())
+	}
+}

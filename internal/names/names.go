@@ -41,14 +41,32 @@ func Scheme(scheme string) Name { return Name(scheme) }
 
 // Metric scopes, one per instrumented component.
 const (
-	ScopeSim     Name = "sim"
-	ScopeBus     Name = "bus"
-	ScopeFault   Name = "fault"
-	ScopeObfus   Name = "obfus"
-	ScopeMemctl  Name = "memctl"
-	ScopePCM     Name = "pcm"
-	ScopePalermo Name = "palermo"
-	ScopeLeakage Name = "leakage"
+	ScopeSim      Name = "sim"
+	ScopeBus      Name = "bus"
+	ScopeFault    Name = "fault"
+	ScopeObfus    Name = "obfus"
+	ScopeMemctl   Name = "memctl"
+	ScopePCM      Name = "pcm"
+	ScopePalermo  Name = "palermo"
+	ScopeLeakage  Name = "leakage"
+	ScopeCampaign Name = "campaign"
+)
+
+// Campaign-runner metrics (internal/campaign), recorded under "campaign".
+// Counters accumulate over one process lifetime; a resumed campaign's
+// CellsResumed counts the cells it did NOT have to re-run.
+const (
+	CampCellsTotal     Name = "cells_total"
+	CampCellsUnique    Name = "cells_unique"
+	CampCellsDone      Name = "cells_done"
+	CampCellsFailed    Name = "cells_failed"
+	CampCellsResumed   Name = "cells_resumed"
+	CampDedupHits      Name = "dedup_hits"
+	CampRetries        Name = "retries"
+	CampPanics         Name = "panics"
+	CampDeadlines      Name = "deadline_exceeded"
+	CampJournalRecords Name = "journal_records"
+	CampJournalBytes   Name = "journal_bytes"
 )
 
 // Leakage-observatory metrics (internal/leakage), recorded per scheme under
@@ -210,6 +228,14 @@ const (
 	SpanLeakRecover  Name = "leakage-recover"
 	SpanLeakScore    Name = "leakage-score"
 	SpanLeakMI       Name = "leakage-mi"
+)
+
+// Campaign-runner spans (internal/campaign): one span per committed cell
+// on the campaign's virtual timeline (cumulative simulated time, commit
+// order).
+const (
+	SpanCampaignCell       Name = "campaign-cell"
+	SpanCampaignCellFailed Name = "campaign-cell-failed"
 )
 
 // Cache-hierarchy spans (internal/cache).

@@ -8,6 +8,11 @@
 #                  bounded and skips wall-clock assertions that race
 #                  instrumentation would distort)
 #   make race-full - the complete suite under the race detector
+#   make race-shards - the shard-synchronization paths (internal/sim,
+#                  internal/bus) under the race detector WITHOUT -short:
+#                  the conservative-lookahead worker loops, mailbox rings,
+#                  and termination protocol, including the long engine
+#                  tests that make race skips (runs in CI)
 #   make bench   - the evaluation benchmark harness (also refreshes the
 #                  BENCH_*.json perf-trajectory snapshot via TestEmitBenchTrajectory)
 #   make bench-smoke - fast perf gate: the zero-alloc guards plus short
@@ -34,7 +39,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint lint-fix race race-full bench bench-smoke campaign-smoke profile ci trace-demo
+.PHONY: check vet lint lint-fix race race-full race-shards bench bench-smoke campaign-smoke profile ci trace-demo
 
 check:
 	$(GO) build ./...
@@ -67,6 +72,9 @@ race:
 race-full:
 	$(GO) test -race ./...
 
+race-shards:
+	$(GO) test -race -count=1 ./internal/sim/... ./internal/bus/...
+
 bench:
 	$(GO) test -run TestEmitBenchTrajectory -bench . -benchmem .
 
@@ -77,6 +85,14 @@ bench-smoke:
 	$(GO) test -run 'TestHotPathZeroAllocs|TestNoSilentlyLostRequests' ./internal/backend
 	$(GO) run ./cmd/obfsim -exp backends -requests 1500 > /dev/null
 	$(GO) run ./cmd/obfsim -exp leakage -requests 1500 > /dev/null
+	@echo "bench-smoke: sharded-engine byte-identity (shards=1 vs shards=8)"
+	@$(GO) run ./cmd/obfsim -exp openloop -requests 800 -shards 1 > .openloop_s1.txt 2>/dev/null; \
+	$(GO) run ./cmd/obfsim -exp openloop -requests 800 -shards 8 > .openloop_s8.txt 2>/dev/null; \
+	if cmp -s .openloop_s1.txt .openloop_s8.txt; then \
+		echo "bench-smoke: shards=1 and shards=8 byte-identical"; rm -f .openloop_s1.txt .openloop_s8.txt; \
+	else \
+		echo "bench-smoke: SHARD DETERMINISM VIOLATION (outputs differ)"; diff .openloop_s1.txt .openloop_s8.txt; exit 1; \
+	fi
 	$(MAKE) campaign-smoke
 
 campaign-smoke:

@@ -42,8 +42,8 @@ import (
 // across the PR sequence. benchPrevTrajectoryFile is the preceding PR's
 // committed snapshot, used as the regression baseline.
 const (
-	benchTrajectoryFile     = "BENCH_PR8.json"
-	benchPrevTrajectoryFile = "BENCH_PR7.json"
+	benchTrajectoryFile     = "BENCH_PR9.json"
+	benchPrevTrajectoryFile = "BENCH_PR8.json"
 )
 
 // trajectoryRun is one wall-clock measurement in the trajectory file.
@@ -51,6 +51,14 @@ type trajectoryRun struct {
 	Name         string  `json:"name"`
 	Requests     int     `json:"requests"`
 	NSPerRequest float64 `json:"ns_per_request"` // best of reps: simulator cost
+}
+
+// shardedRun is one point on the PR 9 intra-run scaling curve.
+type shardedRun struct {
+	Shards       int     `json:"shards"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	WallClockSec float64 `json:"wall_clock_sec"`
+	SpeedupX     float64 `json:"speedup_x"` // vs the shards=1 sequential reference
 }
 
 // trajectory is the BENCH_*.json schema.
@@ -85,6 +93,24 @@ type trajectory struct {
 		AllocsPerEvent         float64 `json:"allocs_per_event"`
 		BaselineAllocsPerEvent float64 `json:"baseline_allocs_per_event"`
 	} `json:"engine"`
+	// Sharded is the PR 9 scaling curve: the 8-channel open-loop
+	// configuration (the Figure 5 channel count) run at shards ∈ {1,2,4,8},
+	// with the shards=1 sequential reference as the baseline. Cores records
+	// the machine's CPU count because the curve is meaningless without it:
+	// conservative-lookahead workers cannot outrun the sequential reference
+	// on a single core (the workers just take turns), so the ≥2x speedup
+	// acceptance assertion is gated on Cores >= 4 and the recorded numbers
+	// are always the honest measurement, whatever the hardware.
+	// BackendsCellSec records one `-exp backends` closed-loop cell on the
+	// sequential engine, the cross-PR anchor showing the sharded work left
+	// the reference path's cost unchanged.
+	Sharded struct {
+		Cores           int          `json:"cores"`
+		Channels        int          `json:"channels"`
+		RequestsPerLane int          `json:"requests_per_lane"`
+		Runs            []shardedRun `json:"runs"`
+		BackendsCellSec float64      `json:"backends_cell_sec"`
+	} `json:"sharded"`
 	// ObfusLegAllocsPerOp is the steady-state allocation count of one
 	// authenticated read+write pair through the full pooled datapath
 	// (recovery armed, zero faults) after warmup; the 0 target is asserted
@@ -174,6 +200,38 @@ func obfusLegAllocs() float64 {
 		addr = (addr + 64) % 4096
 		at += 200 * sim.Nanosecond
 	})
+}
+
+// shardedScaling measures the open-loop run's wall clock and event
+// throughput at each shard count (best of reps). Every run is the same
+// simulation — the byte-identity gate (TestShardsOneVsManyIdentical)
+// guarantees identical results — so the curve isolates pure engine cost.
+func shardedScaling(perLane, reps int, shardCounts []int) []shardedRun {
+	runs := make([]shardedRun, 0, len(shardCounts))
+	for _, shards := range shardCounts {
+		best := time.Duration(1<<63 - 1)
+		var fired uint64
+		for r := 0; r < reps; r++ {
+			cfg := system.DefaultOpenLoopConfig()
+			cfg.Shards = shards
+			cfg.Requests = perLane
+			start := time.Now()
+			res := system.RunOpenLoop(cfg)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			fired = res.EventsFired
+		}
+		runs = append(runs, shardedRun{
+			Shards:       shards,
+			EventsPerSec: float64(fired) / best.Seconds(),
+			WallClockSec: best.Seconds(),
+		})
+	}
+	for i := range runs {
+		runs[i].SpeedupX = runs[0].WallClockSec / runs[i].WallClockSec
+	}
+	return runs
 }
 
 // wallClockRun measures simulator wall-clock cost per request for one
@@ -301,8 +359,8 @@ func TestEmitBenchTrajectory(t *testing.T) {
 	}
 	const n, reps = 3000, 3
 	traj := trajectory{
-		PR:     8,
-		Label:  "crash-safe campaign runner: journaled, resumable, fault-isolated grid execution",
+		PR:     9,
+		Label:  "sharded intra-run simulation: per-channel event queues with conservative lookahead synchronization",
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
@@ -324,6 +382,28 @@ func TestEmitBenchTrajectory(t *testing.T) {
 	// Pooled-datapath allocation rate (0 target asserted hard in
 	// internal/obfus; recorded here for the trajectory).
 	traj.ObfusLegAllocsPerOp = obfusLegAllocs()
+
+	// Sharded-engine scaling on the 8-channel open-loop configuration.
+	// The ≥2x-at-4-shards acceptance line only makes sense with real
+	// parallel hardware underneath: on fewer than 4 cores the workers
+	// time-slice one another and the synchronization cost is all that's
+	// left, so the assertion is gated on the core count and the snapshot
+	// records whatever this machine honestly measured.
+	traj.Sharded.Cores = runtime.NumCPU()
+	traj.Sharded.Channels = system.DefaultOpenLoopConfig().Channels
+	traj.Sharded.RequestsPerLane = 600
+	traj.Sharded.Runs = shardedScaling(traj.Sharded.RequestsPerLane, reps, []int{1, 2, 4, 8})
+	for _, r := range traj.Sharded.Runs {
+		if r.Shards == 4 && traj.Sharded.Cores >= 4 && r.SpeedupX < 2 {
+			t.Errorf("sharded engine speedup %.2fx at shards=4 on %d cores, want >= 2x",
+				r.SpeedupX, traj.Sharded.Cores)
+		}
+	}
+	backendsStart := time.Now()
+	if tbl := exp.Backends(exp.QuickOptions()); tbl.Rows() == 0 {
+		t.Fatal("empty backends table")
+	}
+	traj.Sharded.BackendsCellSec = time.Since(backendsStart).Seconds()
 
 	base := system.DefaultConfig(system.Unprotected)
 	base.Seed = 9
@@ -717,6 +797,25 @@ func BenchmarkSymmetricAlt(b *testing.B) {
 				perReq = float64(m.Traffic().BusBytes) / 3000
 			}
 			b.ReportMetric(perReq, "busB/req")
+		})
+	}
+}
+
+// BenchmarkShardedOpenLoop sweeps shard counts on the 8-channel open-loop
+// configuration, reporting event throughput. The results are bit-identical
+// at every shard count (TestShardsOneVsManyIdentical); only the engine's
+// cost varies.
+func BenchmarkShardedOpenLoop(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "1shard", 2: "2shards", 4: "4shards", 8: "8shards"}[shards], func(b *testing.B) {
+			var fired uint64
+			for i := 0; i < b.N; i++ {
+				cfg := system.DefaultOpenLoopConfig()
+				cfg.Shards = shards
+				cfg.Requests = 400
+				fired = system.RunOpenLoop(cfg).EventsFired
+			}
+			b.ReportMetric(float64(fired)/(b.Elapsed().Seconds()/float64(b.N)), "events/sec")
 		})
 	}
 }

@@ -14,7 +14,19 @@
 //     rand.New / rand.NewSource are permitted.
 //   - go statements anywhere but the exp worker pool, the one place the
 //     model is allowed to fan out (over independent, separately seeded
-//     runs).
+//     runs). The sharded engine's per-shard workers (internal/sim) carry
+//     audited //lint:allow suppressions: their results are held bit-identical
+//     to the sequential reference by TestShardsOneVsManyIdentical.
+//   - Raw channel operations (send, receive, range-over-channel) in the
+//     model packages. Goroutine channels order delivery by scheduler timing;
+//     cross-shard interaction must instead be an explicitly timestamped
+//     sim.Endpoint.Send message, which the sharded engine orders by
+//     (timestamp, model-stable key). The orchestration layers (exp,
+//     campaign) coordinate OS-level work and are exempt.
+//   - sim.Endpoint.Send calls whose timestamp argument is the constant 0: a
+//     zero timestamp is never a modelled instant (Send enforces
+//     at >= now + lookahead at runtime) and almost always marks a
+//     placeholder where wall-clock or arrival-order semantics leak in.
 //   - Map iteration whose effect depends on iteration order. Keyed writes,
 //     loop-local state, and commutative integer accumulation are
 //     order-insensitive and allowed; appending to an outer slice is allowed
@@ -26,6 +38,7 @@ package determinism
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 	"strings"
@@ -64,6 +77,12 @@ func inScope(path string) (leaf string, ok bool) {
 // explicitly seeded generator rather than consuming the global source.
 var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
 
+// chanExempt lists the scoped leaves where raw channel operations are
+// allowed: the orchestration layers that fan independent, separately seeded
+// runs out over OS threads. Everything else is model code, where
+// cross-goroutine interaction must be a timestamped Endpoint.Send.
+var chanExempt = map[string]bool{"exp": true, "campaign": true}
+
 func run(pass *framework.Pass) error {
 	leaf, ok := inScope(pass.Pkg.Path())
 	if !ok {
@@ -85,7 +104,21 @@ func run(pass *framework.Pass) error {
 					if leaf != "exp" {
 						pass.Reportf(n.Pos(), "goroutine outside the exp worker pool: concurrent model state breaks run-to-run determinism")
 					}
+				case *ast.SendStmt:
+					if !chanExempt[leaf] {
+						pass.Reportf(n.Pos(), "raw channel send in model code: delivery order follows scheduler timing; cross-shard interaction must be a timestamped sim.Endpoint.Send")
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW && !chanExempt[leaf] {
+						pass.Reportf(n.Pos(), "raw channel receive in model code: arrival order follows scheduler timing; consume timestamped events through the engine instead")
+					}
 				case *ast.RangeStmt:
+					if isChannelRange(pass, n) {
+						if !chanExempt[leaf] {
+							pass.Reportf(n.Pos(), "range over a channel in model code: arrival order follows scheduler timing; consume timestamped events through the engine instead")
+						}
+						return true
+					}
 					checkRange(pass, enclosingBody(fn), n)
 				}
 				return true
@@ -103,7 +136,8 @@ func enclosingBody(fn *ast.FuncDecl) *ast.BlockStmt {
 	return fn.Body
 }
 
-// checkCall flags wall-clock reads and global math/rand use.
+// checkCall flags wall-clock reads, global math/rand use, and
+// zero-timestamp cross-shard sends.
 func checkCall(pass *framework.Pass, call *ast.CallExpr, wallclock bool) {
 	fn := calleeFunc(pass, call)
 	if fn == nil || fn.Pkg() == nil {
@@ -120,6 +154,39 @@ func checkCall(pass *framework.Pass, call *ast.CallExpr, wallclock bool) {
 			pass.Reportf(call.Pos(), "global math/rand source (rand.%s): draw from an explicitly seeded *rand.Rand instead", fn.Name())
 		}
 	}
+	checkEndpointSend(pass, call, fn)
+}
+
+// checkEndpointSend flags sim.Endpoint.Send calls whose timestamp argument
+// is the constant 0. Send's runtime contract is at >= now + lookahead, so a
+// literal zero can only be a placeholder — typically the residue of code
+// that meant "now" or "whenever it arrives", both of which smuggle
+// scheduler order into the model.
+func checkEndpointSend(pass *framework.Pass, call *ast.CallExpr, fn *types.Func) {
+	if fn.Name() != "Send" || !strings.HasSuffix(fn.Pkg().Path(), "internal/sim") {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return
+	}
+	if constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0)) {
+		pass.Reportf(call.Args[1].Pos(), "cross-shard Send with constant timestamp 0: every message must carry an explicit simulated-time delivery instant (at >= now + lookahead)")
+	}
+}
+
+// isChannelRange reports whether rng iterates over a channel.
+func isChannelRange(pass *framework.Pass, rng *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
 }
 
 // calleeFunc resolves the static callee of a call, or nil for dynamic calls,

@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"obfusmem/internal/obfus"
+	"obfusmem/internal/stats"
+	"obfusmem/internal/system"
+)
+
+// OpenLoop runs the channel-sharded open-loop scenario on an 8-channel
+// machine (the Figure 5 sweep's widest point) under both cover policies and
+// returns the combined report. The run partitions over opts.Shards event
+// queues (0 = GOMAXPROCS); every cell is bit-identical for any shard count —
+// that is the sharded engine's contract, gated by
+// TestShardsOneVsManyIdentical here and by results_full.txt staying
+// byte-stable for the closed-loop experiments.
+func OpenLoop(opts Options) *stats.Table {
+	perLane := opts.Requests / 8
+	if perLane < 50 {
+		perLane = 50
+	}
+	out := stats.NewTable("Open-loop channel-sharded runs (8 channels)",
+		"policy", "reqs/lane", "covers", "wire pkts", "read lat (ns)", "gap entropy (bits)", "wire digest")
+	for _, policy := range []obfus.ChannelPolicy{obfus.PolicyUNOPT, obfus.PolicyOPT} {
+		cfg := system.DefaultOpenLoopConfig()
+		cfg.Shards = opts.shardCount()
+		cfg.Requests = perLane
+		cfg.Seed = opts.Seed
+		cfg.Policy = policy
+		res := system.RunOpenLoop(cfg)
+		// Pull the TOTAL row (last) of the per-run table.
+		last := res.Table.Rows() - 1
+		out.AddRowf(4, policy.String(), perLane,
+			res.Table.Cell(last, 3), res.Table.Cell(last, 5),
+			res.Table.Cell(last, 4), res.GapEntropyBits,
+			fmtDigest(res.WireDigest))
+	}
+	out.AddNote("open-loop arrivals (no completion feedback); per-lane front end — see DESIGN.md §10")
+	return out
+}
+
+// fmtDigest renders a wire digest as fixed-width hex.
+func fmtDigest(d uint64) string {
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := range b {
+		b[i] = hexdigits[d>>(60-4*i)&0xf]
+	}
+	return string(b[:])
+}

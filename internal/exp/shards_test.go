@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"obfusmem/internal/metrics"
+	"obfusmem/internal/system"
+)
+
+// TestShardsOneVsManyIdentical is the PR 9 acceptance gate: the sharded
+// engine's intra-run parallelism may not change a single observable byte.
+// The open-loop experiment table, the run's metrics snapshot, its wire
+// digest, and its leakage-style gap-entropy score must be bit-identical for
+// shards ∈ {1, 2, 4, 8} — the ROADMAP item 2 discipline, applied intra-run.
+func TestShardsOneVsManyIdentical(t *testing.T) {
+	o := testOpts()
+	o.Requests = 800
+
+	snapshot := func(shards int) (string, metrics.Snapshot, system.OpenLoopResult) {
+		o.Shards = shards
+		table := OpenLoop(o).String()
+		cfg := system.DefaultOpenLoopConfig()
+		cfg.Shards = shards
+		cfg.Requests = 100
+		cfg.Seed = o.Seed
+		cfg.Metrics = metrics.NewRegistry()
+		res := system.RunOpenLoop(cfg)
+		return table, cfg.Metrics.Snapshot(), res
+	}
+
+	refTable, refSnap, refRes := snapshot(1)
+	for _, shards := range []int{2, 4, 8} {
+		table, snap, res := snapshot(shards)
+		if table != refTable {
+			t.Fatalf("OpenLoop table differs at shards=%d:\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s",
+				shards, refTable, shards, table)
+		}
+		if !reflect.DeepEqual(snap, refSnap) {
+			t.Fatalf("metrics snapshot differs at shards=%d:\n1: %+v\n%d: %+v", shards, refSnap, shards, snap)
+		}
+		if res.WireDigest != refRes.WireDigest {
+			t.Fatalf("wire digest differs at shards=%d: %016x vs %016x", shards, res.WireDigest, refRes.WireDigest)
+		}
+		if res.GapEntropyBits != refRes.GapEntropyBits {
+			t.Fatalf("gap entropy differs at shards=%d: %v vs %v", shards, res.GapEntropyBits, refRes.GapEntropyBits)
+		}
+		if res.Table.String() != refRes.Table.String() {
+			t.Fatalf("per-run report differs at shards=%d", shards)
+		}
+	}
+
+	// Shards = 0 (GOMAXPROCS) must agree too.
+	autoTable, _, _ := snapshot(0)
+	if autoTable != refTable {
+		t.Fatal("OpenLoop table differs between shards=1 and shards=GOMAXPROCS")
+	}
+}
+
+// TestShardsDoNotTouchClosedLoop pins that the Shards option is inert for
+// the closed-loop experiments: results_full.txt must stay byte-stable no
+// matter what the flag says.
+func TestShardsDoNotTouchClosedLoop(t *testing.T) {
+	o := testOpts()
+	o.Requests = 300
+	o.Shards = 1
+	one := Table3Numbers(o)
+	o.Shards = 8
+	many := Table3Numbers(o)
+	if !reflect.DeepEqual(one, many) {
+		t.Fatal("closed-loop Table 3 changed with the Shards option")
+	}
+}

@@ -1,0 +1,29 @@
+package obfus
+
+import "obfusmem/internal/sim"
+
+// CoverNeeded is the Section 3.4 inter-channel cover decision for a single
+// candidate channel, extracted so the closed-loop controller and the
+// sharded open-loop lanes apply byte-for-byte the same policy. Given the
+// configured policy, whether the candidate channel's bus is idle at the
+// decision instant, and the wire time of the channel's last request, it
+// reports whether a dummy pair must be injected there.
+//
+// UNOPT covers unconditionally. OPT skips channels an observer could not
+// call idle anyway (Observation 3): the bus is busy at the instant, or a
+// request hit the wire within the last OPTWindow. PolicyNone never covers.
+//
+// The inputs are deliberately plain values rather than controller state:
+// in the sharded engine the decision runs on the candidate channel's own
+// shard, against that shard's local view of busIdle and lastReqWire, so the
+// signature is the exact coupling surface between shards.
+func CoverNeeded(policy ChannelPolicy, busIdle bool, lastReqWire, at sim.Time) bool {
+	if policy == PolicyNone {
+		return false
+	}
+	recentlyActive := lastReqWire > 0 && at-lastReqWire < OPTWindow
+	if policy == PolicyOPT && (!busIdle || recentlyActive) {
+		return false
+	}
+	return true
+}

@@ -354,11 +354,7 @@ func (c *Controller) injectInterChannel(at sim.Time, realCh int) {
 			// see it dark, which is what fail-stop means.
 			continue
 		}
-		recentlyActive := cs.lastReqWire > 0 && at-cs.lastReqWire < OPTWindow
-		if c.cfg.Policy == PolicyOPT && (!c.bus.IdleAt(ch, at) || recentlyActive) {
-			// The channel carried traffic within the observation window;
-			// an observer cannot call it idle, so no dummy is needed
-			// (Observation 3).
+		if !CoverNeeded(c.cfg.Policy, c.bus.IdleAt(ch, at), cs.lastReqWire, at) {
 			continue
 		}
 		c.injectPair(at, ch)

@@ -1,0 +1,112 @@
+// Mailbox rings and message-key framing for the sharded engine.
+//
+// Cross-shard messages travel through single-producer single-consumer rings
+// (one per ordered shard pair). The producer is the source shard's worker,
+// the consumer the destination shard's worker; both sides synchronise only
+// through the atomic head/tail indices, so a push/pop pair costs two atomic
+// operations and no locks.
+//
+// Delivery order over a ring is FIFO, but the destination shard never relies
+// on it: every message carries an explicit (timestamp, key) pair and is
+// re-ordered through the shard's event queue. The key embeds the sending
+// endpoint's model-stable identity and per-endpoint sequence number, so the
+// total order of messages is a function of the model alone — not of shard
+// count, ring interleaving, or scheduler timing. That key discipline is what
+// lets TestShardsOneVsManyIdentical demand bit-identical results for any
+// shard count.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Message-key framing. A shard queue orders events by (time, key); the key
+// space is split into two bands:
+//
+//   - band 0 (bit 63 clear): shard-local events, keyed by the shard's own
+//     monotonic schedule counter. Local keys are private to a shard and
+//     never compared across shards (except as a tie-break in the sequential
+//     reference, where the shard index disambiguates).
+//   - band 1 (bit 63 set): cross-shard messages, keyed by the sending
+//     endpoint's registration index (23 bits) and its per-endpoint send
+//     sequence (40 bits). Messages therefore sort after all same-time local
+//     events, and identically for every shard count.
+const (
+	msgBand       = uint64(1) << 63
+	msgSenderBits = 23
+	msgSeqBits    = 40
+	msgSenderMax  = 1<<msgSenderBits - 1
+	msgSeqMax     = 1<<msgSeqBits - 1
+)
+
+// packMsgKey frames a cross-shard message key from the sending endpoint's
+// registration index and its send sequence. It panics on overflow: 8M
+// endpoints and 10^12 sends per endpoint are far beyond any simulated
+// topology, so hitting a limit is a model bug, not a capacity knob.
+func packMsgKey(sender uint32, seq uint64) uint64 {
+	if uint64(sender) > msgSenderMax {
+		panic(fmt.Sprintf("sim: endpoint index %d overflows message-key framing", sender))
+	}
+	if seq > msgSeqMax {
+		panic(fmt.Sprintf("sim: send sequence %d overflows message-key framing", seq))
+	}
+	return msgBand | uint64(sender)<<msgSeqBits | seq
+}
+
+// unpackMsgKey splits a key into its frame fields. isMsg is false for
+// band-0 (shard-local) keys, whose low bits are just the local counter.
+func unpackMsgKey(key uint64) (sender uint32, seq uint64, isMsg bool) {
+	if key&msgBand == 0 {
+		return 0, key, false
+	}
+	return uint32(key >> msgSeqBits & msgSenderMax), key & msgSeqMax, true
+}
+
+// shardMsg is one timestamped cross-shard message in flight.
+type shardMsg struct {
+	at  Time
+	key uint64
+	fn  func()
+}
+
+// mailboxCap is the ring capacity (a power of two). A full ring briefly
+// blocks the producer (which yields), never drops: the consumer drains its
+// rings on every scheduling round, so the window is one loop iteration.
+const mailboxCap = 1024
+
+// mailbox is a fixed-capacity SPSC ring. The producer owns tail, the
+// consumer owns head; each reads the other's index atomically. Slots are
+// plain memory: a slot write is published by the tail store (release) and
+// observed after the tail load (acquire), which Go's sync/atomic guarantees.
+type mailbox struct {
+	buf  [mailboxCap]shardMsg
+	head atomic.Uint64 // next slot to pop (consumer-owned)
+	tail atomic.Uint64 // next slot to push (producer-owned)
+}
+
+// push enqueues one message, yielding while the ring is full. Must only be
+// called by the source shard's worker.
+func (m *mailbox) push(msg shardMsg) {
+	t := m.tail.Load()
+	for t-m.head.Load() >= mailboxCap {
+		// The consumer drains every scheduling round; yield until it does.
+		runtime.Gosched()
+	}
+	m.buf[t%mailboxCap] = msg
+	m.tail.Store(t + 1)
+}
+
+// pop dequeues one message, or reports none pending. Must only be called by
+// the destination shard's worker.
+func (m *mailbox) pop() (shardMsg, bool) {
+	h := m.head.Load()
+	if h == m.tail.Load() {
+		return shardMsg{}, false
+	}
+	msg := m.buf[h%mailboxCap]
+	m.buf[h%mailboxCap] = shardMsg{} // drop the fn reference before releasing the slot
+	m.head.Store(h + 1)
+	return msg, true
+}

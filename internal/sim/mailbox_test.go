@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestMsgKeyRoundTrip(t *testing.T) {
+	cases := []struct {
+		sender uint32
+		seq    uint64
+	}{
+		{0, 0}, {1, 0}, {0, 1}, {7, 12345}, {msgSenderMax, msgSeqMax},
+	}
+	for _, c := range cases {
+		key := packMsgKey(c.sender, c.seq)
+		sender, seq, isMsg := unpackMsgKey(key)
+		if !isMsg || sender != c.sender || seq != c.seq {
+			t.Errorf("roundtrip(%d, %d) = (%d, %d, %v)", c.sender, c.seq, sender, seq, isMsg)
+		}
+	}
+	if _, _, isMsg := unpackMsgKey(12345); isMsg {
+		t.Error("band-0 key classified as a message")
+	}
+}
+
+func TestMsgKeyOrdering(t *testing.T) {
+	// Messages sort after every local key; among messages, endpoint index
+	// dominates sequence.
+	localMax := msgBand - 1
+	if packMsgKey(0, 0) <= localMax {
+		t.Error("message key does not sort after local keys")
+	}
+	if !(packMsgKey(0, msgSeqMax) < packMsgKey(1, 0)) {
+		t.Error("endpoint index does not dominate send sequence")
+	}
+	if !(packMsgKey(3, 5) < packMsgKey(3, 6)) {
+		t.Error("send sequence not ordered within an endpoint")
+	}
+}
+
+func TestMsgKeyOverflowPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("sender overflow", func() { packMsgKey(msgSenderMax+1, 0) })
+	mustPanic("seq overflow", func() { packMsgKey(0, msgSeqMax+1) })
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	var m mailbox
+	if _, ok := m.pop(); ok {
+		t.Fatal("pop on empty mailbox reported a message")
+	}
+	for i := 0; i < 10; i++ {
+		m.push(shardMsg{at: Time(i), key: uint64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		msg, ok := m.pop()
+		if !ok || msg.at != Time(i) || msg.key != uint64(i) {
+			t.Fatalf("pop %d = (%v, %v)", i, msg, ok)
+		}
+	}
+	if _, ok := m.pop(); ok {
+		t.Fatal("drained mailbox still reports messages")
+	}
+}
+
+func TestMailboxWrapAround(t *testing.T) {
+	var m mailbox
+	// Interleave pushes and pops past several capacities to cross the
+	// index wrap.
+	next, want := Time(0), Time(0)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < mailboxCap-1; i++ {
+			m.push(shardMsg{at: next})
+			next++
+		}
+		for {
+			msg, ok := m.pop()
+			if !ok {
+				break
+			}
+			if msg.at != want {
+				t.Fatalf("wrap round %d: got %v, want %v", round, msg.at, want)
+			}
+			want++
+		}
+	}
+	if want != next {
+		t.Fatalf("popped %d messages, pushed %d", want, next)
+	}
+}
+
+// FuzzMsgKeyFraming is the satellite fuzz target for the mailbox's message
+// framing: for any in-range (sender, seq) pair the key round-trips, lands in
+// the message band, and preserves the (sender, seq) lexicographic order
+// against a second pair.
+func FuzzMsgKeyFraming(f *testing.F) {
+	f.Add(uint32(0), uint64(0), uint32(1), uint64(1))
+	f.Add(uint32(msgSenderMax), uint64(msgSeqMax), uint32(0), uint64(0))
+	f.Add(uint32(7), uint64(1<<39), uint32(7), uint64(1<<39+1))
+	f.Fuzz(func(t *testing.T, sender1 uint32, seq1 uint64, sender2 uint32, seq2 uint64) {
+		sender1 &= msgSenderMax
+		sender2 &= msgSenderMax
+		seq1 &= msgSeqMax
+		seq2 &= msgSeqMax
+		k1 := packMsgKey(sender1, seq1)
+		k2 := packMsgKey(sender2, seq2)
+		s, q, isMsg := unpackMsgKey(k1)
+		if !isMsg || s != sender1 || q != seq1 {
+			t.Fatalf("roundtrip(%d, %d) = (%d, %d, %v)", sender1, seq1, s, q, isMsg)
+		}
+		if k1 < msgBand {
+			t.Fatalf("key %#x below the message band", k1)
+		}
+		wantLess := sender1 < sender2 || (sender1 == sender2 && seq1 < seq2)
+		if (k1 < k2) != wantLess {
+			t.Fatalf("(%d,%d) vs (%d,%d): key order %v, want %v",
+				sender1, seq1, sender2, seq2, k1 < k2, wantLess)
+		}
+	})
+}

@@ -1,0 +1,468 @@
+// Sharded discrete-event engine: conservative parallel simulation of one
+// run, partitioned into shards that interact only through explicitly
+// timestamped messages.
+//
+// A shard owns one event queue (the same 4-ary value-heap discipline as
+// Engine, with an explicit key instead of an implicit schedule counter) and
+// is stepped by a dedicated worker goroutine. Synchronisation is
+// conservative with lookahead L (for the memory-system model, the bus's
+// minimum transfer latency): a shard publishes a clock C — a promise that
+// every message it will ever send from now on carries a timestamp >= C + L —
+// and may safely execute every queued event strictly earlier than
+// min(neighbour clocks) + L, because no in-flight or future message can
+// precede that horizon. Empty shards keep lifting their clocks off their
+// neighbours' (the null-message exchange, here a shared atomic per shard
+// rather than protocol messages), so a blocked shard's horizon always
+// eventually passes its head event and the system never deadlocks.
+//
+// The safety argument needs one ordering rule, enforced by the worker loop:
+// a shard reads neighbour clocks BEFORE draining its mailboxes. Any message
+// timestamped below the resulting horizon was sent while its sender's clock
+// was below the value just read, so (clock stores and mailbox pushes being
+// sequentially consistent, and the push preceding the clock advance in the
+// sender's program order) the message is already visible to the drain that
+// follows. Messages pushed after the clock read carry timestamps >= the
+// observed clock + L >= horizon, and the horizon comparison is strict, so
+// they cannot be missed either. Events exactly AT the horizon — the
+// lookahead boundary a message can land on — wait for the next round.
+//
+// Determinism contract (the PR 4 discipline applied intra-run): results are
+// bit-identical to the sequential reference for any shard count. Two rules
+// deliver it. First, every cross-shard message is keyed by its sender's
+// model-stable endpoint index and per-endpoint sequence — never by shard id,
+// arrival order, or wall clock — so the (time, key) order of messages at any
+// destination is a function of the model alone. Second, the model partitions
+// its state by endpoint: an event may touch only its own endpoint's state,
+// and all cross-endpoint interaction flows through Send. Same-time events of
+// *different* endpoints may then interleave differently under different
+// shard counts without any observable consequence, which is exactly the
+// freedom the parallel engine exploits.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// shardEvent is one queued event: a local schedule or a delivered message.
+type shardEvent struct {
+	at  Time
+	key uint64
+	fn  func()
+}
+
+// shardEventLess orders a shard queue by (time, key): local events before
+// same-time messages (band bit), messages by (endpoint, sequence).
+func shardEventLess(a, b shardEvent) bool {
+	return a.at < b.at || (a.at == b.at && a.key < b.key)
+}
+
+// shardQueue is a 4-ary min-heap of shardEvent values (no boxing; the
+// steady-state push/pop loop allocates only on depth growth).
+type shardQueue struct {
+	h []shardEvent
+}
+
+func (q *shardQueue) empty() bool     { return len(q.h) == 0 }
+func (q *shardQueue) min() shardEvent { return q.h[0] }
+func (q *shardQueue) push(ev shardEvent) {
+	h := append(q.h, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !shardEventLess(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	q.h = h
+}
+
+func (q *shardQueue) pop() shardEvent {
+	h := q.h
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = shardEvent{}
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if shardEventLess(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !shardEventLess(h[m], last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	q.h = h
+	return root
+}
+
+// shard is one partition: an event queue, a simulation clock, and one
+// mailbox per peer shard.
+type shard struct {
+	se    *ShardedEngine
+	id    int
+	q     shardQueue
+	now   Time
+	fired uint64
+
+	localSeq uint64 // band-0 key counter for shard-local schedules
+
+	clock atomic.Int64 // published promise: no future send below clock+lookahead
+	idle  atomic.Bool  // queue empty and waiting (termination protocol)
+	in    []*mailbox   // in[src] receives from shard src (nil for self)
+}
+
+// ShardedEngine runs one simulation partitioned over shards. Build with
+// NewShardedEngine, register endpoints and seed initial events, then call
+// Run once. The sequential engine remains the reference implementation and
+// is selected automatically when shards == 1.
+type ShardedEngine struct {
+	lookahead Time
+	shards    []*shard
+	endpoints []*Endpoint
+	parallel  bool // set for the duration of a parallel Run
+
+	inflight atomic.Int64  // cross-shard messages pushed but not yet enqueued
+	ops      atomic.Uint64 // bumped on every send and every idle wake (termination epoch)
+	done     atomic.Bool
+}
+
+// NewShardedEngine builds an engine with the given shard count and
+// lookahead. The lookahead must be positive: it is the minimum cross-shard
+// latency the model guarantees (for the memory system, bus.Lookahead()),
+// and conservative synchronisation has no safe horizon without it.
+func NewShardedEngine(shards int, lookahead Time) *ShardedEngine {
+	if shards <= 0 {
+		panic("sim: need at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("sim: sharded engine needs a positive lookahead")
+	}
+	se := &ShardedEngine{lookahead: lookahead}
+	se.shards = make([]*shard, shards)
+	for i := range se.shards {
+		se.shards[i] = &shard{se: se, id: i, in: make([]*mailbox, shards)}
+	}
+	for dst := range se.shards {
+		for src := range se.shards {
+			if src != dst {
+				se.shards[dst].in[src] = &mailbox{}
+			}
+		}
+	}
+	return se
+}
+
+// Shards returns the shard count.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Lookahead returns the engine's conservative lookahead.
+func (se *ShardedEngine) Lookahead() Time { return se.lookahead }
+
+// Fired returns the total events executed across all shards. Valid only
+// after Run returns.
+func (se *ShardedEngine) Fired() uint64 {
+	var n uint64
+	for _, sh := range se.shards {
+		n += sh.fired
+	}
+	return n
+}
+
+// Now returns the maximum shard clock — the simulation's end time once Run
+// has returned.
+func (se *ShardedEngine) Now() Time {
+	var t Time
+	for _, sh := range se.shards {
+		if sh.now > t {
+			t = sh.now
+		}
+	}
+	return t
+}
+
+// Endpoint is a model entity pinned to one shard: the unit of state
+// partitioning. Events scheduled through an endpoint are shard-local;
+// cross-endpoint interaction must go through Send, which stamps an explicit
+// timestamp and a model-stable message key. The endpoint index (its
+// registration order) is the sender identity inside message keys, so models
+// must register endpoints in a shard-count-independent order.
+type Endpoint struct {
+	sh   *shard
+	id   uint32
+	seq  uint64
+	name string
+}
+
+// Endpoint registers a model entity on a shard. Registration order defines
+// the endpoint's message-key identity and must not depend on the shard
+// count (register by model topology — e.g. channel index — not by shard).
+func (se *ShardedEngine) Endpoint(name string, shard int) *Endpoint {
+	if shard < 0 || shard >= len(se.shards) {
+		panic(fmt.Sprintf("sim: endpoint %q on shard %d of %d", name, shard, len(se.shards)))
+	}
+	ep := &Endpoint{sh: se.shards[shard], id: uint32(len(se.endpoints)), name: name}
+	se.endpoints = append(se.endpoints, ep)
+	return ep
+}
+
+// Name returns the endpoint's registration name.
+func (ep *Endpoint) Name() string { return ep.name }
+
+// Shard returns the shard index the endpoint is pinned to.
+func (ep *Endpoint) Shard() int { return ep.sh.id }
+
+// Now returns the endpoint's shard clock. Valid during setup (zero) and
+// inside event callbacks running on the endpoint's shard.
+func (ep *Endpoint) Now() Time { return ep.sh.now }
+
+// Schedule queues a shard-local event at absolute time at. It must be
+// called during setup or from an event callback running on the endpoint's
+// shard; scheduling in the shard's past panics.
+func (ep *Endpoint) Schedule(at Time, fn func()) {
+	sh := ep.sh
+	if at < sh.now {
+		panic(fmt.Sprintf("sim: endpoint %q schedules at %v before shard now %v", ep.name, at, sh.now))
+	}
+	if sh.localSeq >= msgBand {
+		panic("sim: shard-local schedule counter overflow")
+	}
+	key := sh.localSeq
+	sh.localSeq++
+	sh.q.push(shardEvent{at: at, key: key, fn: fn})
+}
+
+// Send delivers fn to dst's shard at absolute time at, as an explicitly
+// timestamped cross-shard message. The timestamp must respect the engine's
+// lookahead (at >= sender shard now + lookahead) — that promise is what the
+// conservative horizon is built on, so violating it panics even when src
+// and dst share a shard (the model must behave identically for every
+// partitioning). Messages order after same-time local events, by (sending
+// endpoint, send sequence): a shard-count-independent total order.
+func (ep *Endpoint) Send(dst *Endpoint, at Time, fn func()) {
+	se := ep.sh.se
+	if at < ep.sh.now+se.lookahead {
+		panic(fmt.Sprintf("sim: endpoint %q sends at %v, below shard now %v + lookahead %v",
+			ep.name, at, ep.sh.now, se.lookahead))
+	}
+	key := packMsgKey(ep.id, ep.seq)
+	ep.seq++
+	if dst.sh == ep.sh || !se.parallel {
+		// Same shard, or the sequential reference: deliver straight into the
+		// destination queue. dst.now <= sender now < at in both cases, so
+		// this can never schedule into the destination's past.
+		dst.sh.q.push(shardEvent{at: at, key: key, fn: fn})
+		return
+	}
+	se.ops.Add(1)
+	se.inflight.Add(1) // before the push: a drained message is never unaccounted
+	dst.sh.in[ep.sh.id].push(shardMsg{at: at, key: key, fn: fn})
+}
+
+// Run executes the simulation to completion. With one shard the sequential
+// reference runs; otherwise one worker goroutine steps each shard under
+// conservative synchronisation (correct at any GOMAXPROCS — every wait
+// yields, so workers interleave even on one core). Run may be called once
+// per engine.
+func (se *ShardedEngine) Run() {
+	if len(se.shards) == 1 {
+		se.runSequential()
+		return
+	}
+	se.runParallel()
+}
+
+// runSequential is the reference implementation: one thread executes the
+// globally minimal (time, key, shard) event until every queue drains.
+// Cross-shard sends were delivered directly (see Send), so no mailbox or
+// clock machinery is involved.
+func (se *ShardedEngine) runSequential() {
+	for {
+		best := -1
+		var bestEv shardEvent
+		for i, sh := range se.shards {
+			if sh.q.empty() {
+				continue
+			}
+			m := sh.q.min()
+			if best < 0 || shardEventLess(m, bestEv) {
+				best, bestEv = i, m
+			}
+		}
+		if best < 0 {
+			return
+		}
+		sh := se.shards[best]
+		ev := sh.q.pop()
+		sh.now = ev.at
+		sh.fired++
+		ev.fn()
+	}
+}
+
+// runParallel steps every shard on its own worker goroutine. The goroutines
+// are invisible to the model: all shared state crosses shard boundaries
+// through timestamped mailbox messages and the atomic clock exchange, and
+// the determinism gate (TestShardsOneVsManyIdentical) holds the result to
+// the sequential reference bit for bit.
+func (se *ShardedEngine) runParallel() {
+	se.parallel = true
+	var wg sync.WaitGroup
+	wg.Add(len(se.shards))
+	for _, sh := range se.shards {
+		sh := sh
+		//lint:allow determinism shard workers: conservative lookahead synchronisation keeps results bit-identical to the sequential reference (TestShardsOneVsManyIdentical)
+		go func() {
+			defer wg.Done()
+			sh.run()
+		}()
+	}
+	wg.Wait()
+	se.parallel = false
+}
+
+// horizon returns the shard's safe execution bound: min over the other
+// shards' published clocks, plus the lookahead (saturating).
+func (sh *shard) horizon() Time {
+	min := Time(math.MaxInt64)
+	for i, other := range sh.se.shards {
+		if i == sh.id {
+			continue
+		}
+		if c := Time(other.clock.Load()); c < min {
+			min = c
+		}
+	}
+	if min > math.MaxInt64-sh.se.lookahead {
+		return math.MaxInt64
+	}
+	return min + sh.se.lookahead
+}
+
+// drain moves every pending mailbox message into the event queue. Must run
+// AFTER the horizon's clock reads (see the package comment's safety
+// argument). Returns the number of messages received.
+func (sh *shard) drain() int {
+	n := 0
+	for src, mb := range sh.in {
+		if src == sh.id {
+			continue
+		}
+		for {
+			msg, ok := mb.pop()
+			if !ok {
+				break
+			}
+			sh.q.push(shardEvent{at: msg.at, key: msg.key, fn: msg.fn})
+			n++
+		}
+	}
+	if n > 0 {
+		// Order matters for termination: the queue gained work, so clear
+		// idle (bumping the epoch) before the in-flight count drops — a
+		// terminator snapshot can then never see "all idle, nothing in
+		// flight" while these messages are still unprocessed.
+		sh.idle.Store(false)
+		sh.se.ops.Add(1)
+		sh.se.inflight.Add(int64(-n))
+	}
+	return n
+}
+
+// publish raises the shard's clock to bound: the promise that no future
+// send will carry a timestamp below bound + lookahead. Clocks only move
+// forward.
+func (sh *shard) publish(bound Time) {
+	if bound > Time(sh.clock.Load()) {
+		sh.clock.Store(int64(bound))
+	}
+}
+
+// run is one shard worker's loop: exchange clocks, drain mailboxes, execute
+// the safe prefix, publish, repeat until global termination.
+func (sh *shard) run() {
+	se := sh.se
+	for {
+		if se.done.Load() {
+			return
+		}
+		horizon := sh.horizon() // clock reads first...
+		sh.drain()              // ...then the mailbox drain (ordering is load-bearing)
+		progress := false
+		for !sh.q.empty() && sh.q.min().at < horizon {
+			ev := sh.q.pop()
+			if ev.at > sh.now {
+				sh.now = ev.at
+			}
+			// Publishing mid-batch lets neighbours advance while this batch
+			// runs; Send's at >= now+lookahead check keeps the promise true.
+			sh.publish(sh.now)
+			sh.fired++
+			ev.fn()
+			progress = true
+		}
+		// Null-message exchange: bound = next local event, capped by the
+		// horizon (a message could still arrive anywhere above it). An empty
+		// shard lifts straight to the horizon, so idle shards ratchet each
+		// other (and any blocked shard) upward by one lookahead per round.
+		bound := horizon
+		if !sh.q.empty() && sh.q.min().at < bound {
+			bound = sh.q.min().at
+		}
+		sh.publish(bound)
+		if !progress {
+			if sh.q.empty() && sh.terminated() {
+				return
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// terminated runs the stable-snapshot termination test from an idle shard:
+// all shards idle, nothing in flight, and no send or wake happened across
+// the observation (the ops epoch is unchanged). Each transition that could
+// create work bumps ops or raises inflight first, so a passing snapshot is
+// consistent: no queued events, no ring messages, no executing shard —
+// nothing can ever create work again.
+func (sh *shard) terminated() bool {
+	se := sh.se
+	sh.idle.Store(true)
+	epoch := se.ops.Load()
+	if se.inflight.Load() != 0 {
+		return false
+	}
+	for _, other := range se.shards {
+		if !other.idle.Load() {
+			return false
+		}
+	}
+	if se.ops.Load() != epoch {
+		return false
+	}
+	se.done.Store(true)
+	return true
+}

@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// pingModel is a synthetic multi-entity model for engine tests: n entities
+// exchange timestamped messages in a seeded random pattern, each recording
+// its own observation log. Entity state is disjoint and all cross-entity
+// interaction goes through Send, so the per-entity logs must be identical
+// for every shard count.
+type pingModel struct {
+	eps  []*Endpoint
+	logs [][]string
+	rngs []*rand.Rand
+	hops []int
+}
+
+// buildPing constructs the model on se, assigning entity i to shard
+// i % shards (a shard-count-dependent placement; the logs must not be).
+func buildPing(se *ShardedEngine, entities, hopsPer int, seed int64) *pingModel {
+	m := &pingModel{
+		eps:  make([]*Endpoint, entities),
+		logs: make([][]string, entities),
+		rngs: make([]*rand.Rand, entities),
+		hops: make([]int, entities),
+	}
+	for i := 0; i < entities; i++ {
+		m.eps[i] = se.Endpoint(fmt.Sprintf("ent%d", i), i%se.Shards())
+		m.rngs[i] = rand.New(rand.NewSource(seed + int64(i)))
+		m.hops[i] = hopsPer
+	}
+	L := se.Lookahead()
+	for i := range m.eps {
+		i := i
+		start := Time(m.rngs[i].Int63n(int64(4 * L)))
+		m.eps[i].Schedule(start, func() { m.step(i) })
+	}
+	return m
+}
+
+// step logs one hop for entity i and, while hops remain, either schedules a
+// local follow-up or sends to a random peer. Delays are drawn from entity
+// i's own seeded stream, so the trajectory is a function of the model alone.
+func (m *pingModel) step(i int) {
+	ep := m.eps[i]
+	m.logs[i] = append(m.logs[i], fmt.Sprintf("t=%d hop=%d", ep.Now(), m.hops[i]))
+	if m.hops[i] == 0 {
+		return
+	}
+	m.hops[i]--
+	rng := m.rngs[i]
+	L := ep.sh.se.lookahead
+	if rng.Intn(3) == 0 {
+		ep.Schedule(ep.Now()+Time(rng.Int63n(int64(L))), func() { m.step(i) })
+		return
+	}
+	j := rng.Intn(len(m.eps))
+	// Half the cross-entity messages land exactly at now + lookahead — the
+	// boundary an event is allowed to arrive on and must wait a round for.
+	delay := L
+	if rng.Intn(2) == 0 {
+		delay += Time(rng.Int63n(int64(2 * L)))
+	}
+	ep.Send(m.eps[j], ep.Now()+delay, func() { m.step(j) })
+}
+
+// runPing builds and runs the model on a fresh engine, returning the
+// per-entity logs and total events fired.
+func runPing(shards, entities, hopsPer int, seed int64, lookahead Time) ([][]string, uint64) {
+	se := NewShardedEngine(shards, lookahead)
+	m := buildPing(se, entities, hopsPer, seed)
+	se.Run()
+	return m.logs, se.Fired()
+}
+
+// TestShardedMatchesSequential is the engine-level determinism gate: the
+// per-entity observation logs are bit-identical for any shard count.
+func TestShardedMatchesSequential(t *testing.T) {
+	const entities, hops = 9, 40
+	const lookahead = 2250 // ps; the bus lookahead the real model uses
+	for _, seed := range []int64{1, 42, 977} {
+		ref, refFired := runPing(1, entities, hops, seed, lookahead)
+		for _, shards := range []int{2, 3, 4, 8} {
+			got, fired := runPing(shards, entities, hops, seed, lookahead)
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("seed %d: shards=%d logs differ from sequential\nseq:  %v\ngot:  %v",
+					seed, shards, ref, got)
+			}
+			if fired != refFired {
+				t.Fatalf("seed %d: shards=%d fired %d events, sequential fired %d",
+					seed, shards, fired, refFired)
+			}
+		}
+	}
+}
+
+// TestShardedLookaheadBoundary is the satellite property test: randomized
+// topologies and seeds where every cross-shard message lands exactly at
+// clock + lookahead, the tightest timestamp Send admits. The sharded engine
+// must never reorder those boundary events against the sequential reference.
+func TestShardedLookaheadBoundary(t *testing.T) {
+	metaRng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		entities := 2 + metaRng.Intn(10)
+		lookahead := Time(1 + metaRng.Int63n(5000))
+		seed := metaRng.Int63()
+		run := func(shards int) [][]string {
+			se := NewShardedEngine(shards, lookahead)
+			eps := make([]*Endpoint, entities)
+			logs := make([][]string, entities)
+			rngs := make([]*rand.Rand, entities)
+			hops := make([]int, entities)
+			for i := 0; i < entities; i++ {
+				eps[i] = se.Endpoint(fmt.Sprintf("e%d", i), i%shards)
+				rngs[i] = rand.New(rand.NewSource(seed ^ int64(i)<<8))
+				hops[i] = 30
+			}
+			var step func(i int)
+			step = func(i int) {
+				logs[i] = append(logs[i], fmt.Sprintf("%d@%d", hops[i], eps[i].Now()))
+				if hops[i] == 0 {
+					return
+				}
+				hops[i]--
+				j := rngs[i].Intn(entities)
+				// Exactly the boundary, every time.
+				eps[i].Send(eps[j], eps[i].Now()+lookahead, func() { step(j) })
+			}
+			for i := range eps {
+				i := i
+				eps[i].Schedule(Time(rngs[i].Int63n(int64(lookahead))), func() { step(i) })
+			}
+			se.Run()
+			return logs
+		}
+		ref := run(1)
+		for _, shards := range []int{2, entities} {
+			if got := run(shards); !reflect.DeepEqual(got, ref) {
+				t.Fatalf("trial %d (entities=%d lookahead=%d seed=%d): shards=%d reordered boundary events\nseq: %v\ngot: %v",
+					trial, entities, lookahead, seed, shards, got, ref)
+			}
+		}
+	}
+}
+
+// TestShardedMessageOrdering pins the key discipline: same-time messages
+// from different endpoints arrive in endpoint-registration order, after
+// same-time local events, regardless of sending shard.
+func TestShardedMessageOrdering(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		se := NewShardedEngine(shards, 10)
+		a := se.Endpoint("a", 0)
+		b := se.Endpoint("b", 1%shards)
+		c := se.Endpoint("c", 2%shards)
+		var order []string
+		// Both a and b message c at t=10; c also has a local event at t=10.
+		// Expected order: local first, then a's (endpoint 0), then b's.
+		b.Schedule(0, func() { b.Send(c, 10, func() { order = append(order, "from-b") }) })
+		a.Schedule(0, func() { a.Send(c, 10, func() { order = append(order, "from-a") }) })
+		c.Schedule(10, func() { order = append(order, "local") })
+		se.Run()
+		want := []string{"local", "from-a", "from-b"}
+		if !reflect.DeepEqual(order, want) {
+			t.Fatalf("shards=%d: arrival order %v, want %v", shards, order, want)
+		}
+	}
+}
+
+// TestShardedSendBelowLookaheadPanics pins the conservative contract: a send
+// below now + lookahead panics in every mode, including same-shard sends
+// (the model must behave identically for every partitioning).
+func TestShardedSendBelowLookaheadPanics(t *testing.T) {
+	se := NewShardedEngine(1, 100)
+	a := se.Endpoint("a", 0)
+	b := se.Endpoint("b", 0)
+	a.Schedule(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send at now+lookahead-1 did not panic")
+			}
+		}()
+		a.Send(b, 99, func() {})
+	})
+	se.Run()
+}
+
+// TestShardedSchedulePastPanics pins the local-schedule contract.
+func TestShardedSchedulePastPanics(t *testing.T) {
+	se := NewShardedEngine(1, 1)
+	a := se.Endpoint("a", 0)
+	a.Schedule(50, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Schedule in the shard's past did not panic")
+			}
+		}()
+		a.Schedule(49, func() {})
+	})
+	se.Run()
+}
+
+// TestShardedEmptyRun pins termination with no events at all.
+func TestShardedEmptyRun(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		se := NewShardedEngine(shards, 5)
+		se.Endpoint("a", 0)
+		se.Run()
+		if se.Fired() != 0 {
+			t.Fatalf("shards=%d: fired %d events on an empty run", shards, se.Fired())
+		}
+	}
+}
+
+// TestShardedConstructorPanics pins the constructor contracts.
+func TestShardedConstructorPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero shards", func() { NewShardedEngine(0, 1) })
+	mustPanic("zero lookahead", func() { NewShardedEngine(2, 0) })
+	mustPanic("shard out of range", func() { NewShardedEngine(2, 1).Endpoint("x", 2) })
+}
+
+// TestShardedMailboxPressure drives far more cross-shard messages than one
+// ring holds, exercising the producer's full-ring yield path.
+func TestShardedMailboxPressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mailbox pressure test skipped in -short mode")
+	}
+	const n = 4 * mailboxCap
+	run := func(shards int) uint64 {
+		se := NewShardedEngine(shards, 1)
+		a := se.Endpoint("a", 0)
+		b := se.Endpoint("b", shards-1)
+		var got uint64
+		a.Schedule(0, func() {
+			for i := 0; i < n; i++ {
+				i := i
+				a.Send(b, Time(1+i), func() { got += uint64(i) })
+			}
+		})
+		se.Run()
+		return got
+	}
+	want := run(1)
+	if got := run(2); got != want {
+		t.Fatalf("shards=2 under mailbox pressure: checksum %d, want %d", got, want)
+	}
+}
+
+// BenchmarkShardedEngine measures events/sec through the sharded scheduler
+// at various shard counts (shards=1 is the sequential reference path).
+func BenchmarkShardedEngine(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		if shards > runtime.GOMAXPROCS(0) && shards != 1 {
+			// Still measure: oversubscribed shards show the coordination floor.
+			b.Logf("shards=%d exceeds GOMAXPROCS=%d", shards, runtime.GOMAXPROCS(0))
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, fired := runPing(shards, 8, 200, 7, 2250)
+				b.ReportMetric(float64(fired), "events/run")
+			}
+		})
+	}
+}

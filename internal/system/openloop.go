@@ -1,0 +1,376 @@
+// Open-loop channel-sharded run mode: the first production consumer of the
+// sharded discrete-event engine (ROADMAP item 2, heading toward the
+// datacenter-scale open-loop workloads of item 5).
+//
+// The closed-loop machine (cpu.Drive over System) is inherently serial: the
+// next request's issue time depends on the previous request's exposed
+// latency, one dependence chain through the whole run. Open-loop traffic
+// has no such chain — arrivals are a property of the workload, not of
+// completions — so a run partitions naturally along the paper's hardware
+// seams: one shard per group of channel subtrees (bus port → memory
+// controller lane → PCM banks), interacting only through the bus, whose
+// minimum transfer latency is the conservative lookahead.
+//
+// Each lane owns every stateful component of its channel: the per-channel
+// bus resources and stats, a front end, AES pad engines, a MAC unit, the
+// memctl.Lane view, and the PCM device (pinned via SetOwner). The one
+// deviation from the closed-loop machine is deliberate and documented: the
+// Fig 3 front end is shared across channels there, per-lane here — a shared
+// front end is a cross-shard serialization point on every request, exactly
+// what an open-loop scale-out design removes. Inter-channel cover traffic
+// (Section 3.4) is the real cross-shard interaction: a lane that issues a
+// real request notifies every other lane at issue + obfus.FrontEndTime
+// (which exceeds the bus lookahead), and the destination lane decides
+// locally — from its own bus-idle state and last-request time, via
+// obfus.CoverNeeded, the same predicate the closed loop uses — whether to
+// put a dummy pair on its wire. Cover pairs never trigger further covers.
+//
+// Determinism contract: the report is byte-identical for any shard count
+// (TestShardsOneVsManyIdentical). Lane state is disjoint by construction,
+// notifications are timestamped endpoint messages, and the merged wire view
+// is sorted by (time, channel, lane order) before digesting.
+package system
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"obfusmem/internal/aes"
+	"obfusmem/internal/bus"
+	"obfusmem/internal/md5sim"
+	"obfusmem/internal/memctl"
+	"obfusmem/internal/metrics"
+	"obfusmem/internal/obfus"
+	"obfusmem/internal/sim"
+	"obfusmem/internal/stats"
+	"obfusmem/internal/workload"
+	"obfusmem/internal/xrand"
+)
+
+// OpenLoopConfig describes a channel-sharded open-loop run.
+type OpenLoopConfig struct {
+	// Channels is the lane count (a power of two, for the address mapper).
+	Channels int
+	// Shards partitions the lanes over event queues; 1 selects the
+	// sequential reference engine. Values above Channels are clamped.
+	Shards int
+	// Requests is the real-request count per lane.
+	Requests int
+	// Seed feeds every lane's workload stream (forked per lane).
+	Seed uint64
+	// Policy is the Section 3.4 inter-channel cover policy.
+	Policy obfus.ChannelPolicy
+	// Profiles assigns a workload to each lane, round-robin. Empty defaults
+	// to the SPEC2006 set.
+	Profiles []workload.Profile
+	// Metrics, when non-nil, receives the bus/memctl/PCM instruments of the
+	// run. Safe under sharding: instruments are atomic, and per-channel
+	// scopes are only ever touched by the owning shard anyway.
+	Metrics *metrics.Registry
+}
+
+// DefaultOpenLoopConfig returns an 8-channel OPT-policy run.
+func DefaultOpenLoopConfig() OpenLoopConfig {
+	return OpenLoopConfig{
+		Channels: 8,
+		Shards:   1,
+		Requests: 1000,
+		Seed:     42,
+		Policy:   obfus.PolicyOPT,
+	}
+}
+
+// openWireEvent is one packet as seen on a lane's wire, recorded by the
+// lane itself (bus observers are shared state a sharded run must not use).
+type openWireEvent struct {
+	at    sim.Time
+	ch    int
+	seq   int // per-lane record order, the final merge tie-break
+	bytes int
+	dummy bool
+}
+
+// openLane is one channel subtree: the unit of shard affinity.
+type openLane struct {
+	ch       int
+	ep       *sim.Endpoint
+	b        *bus.Bus
+	mem      *memctl.Lane
+	stream   *workload.Stream
+	frontEnd *sim.Resource
+	reqEng   *aes.Engine
+	respEng  *aes.Engine
+	mac      *md5sim.Unit
+	policy   obfus.ChannelPolicy
+	mapper   *memctl.Mapper
+
+	lastReqWire sim.Time
+	issued      int
+	covers      int
+	latencySum  sim.Time // read-latency accumulator (ps)
+	reads       int
+	wire        []openWireEvent
+	peers       []*openLane
+}
+
+// record logs one wire event on the lane's own channel.
+func (l *openLane) record(at sim.Time, bytes int, dummy bool) {
+	l.wire = append(l.wire, openWireEvent{at: at, ch: l.ch, seq: len(l.wire), bytes: bytes, dummy: dummy})
+}
+
+// issuePair puts one ObfusMem access pair on the lane's wire — read command,
+// write command + data, read-reply data — and services the real half (if
+// any) at the PCM device. It returns the read-reply delivery time. The
+// crypto leg mirrors the closed-loop shape: front-end occupancy, six pad
+// pre-generations for the pair, one MAC slot, then serialization.
+func (l *openLane) issuePair(at sim.Time, addr uint64, write, dummy bool) sim.Time {
+	fe := l.frontEnd.Acquire(at, obfus.FrontEndTime) + obfus.FrontEndTime
+	encDone := l.reqEng.IssueOnly(fe, 6)
+	sendReady := l.mac.Issue(encDone)
+
+	readPkt := &bus.Packet{Channel: l.ch, Dir: bus.ProcToMem, HasCmd: true, HasMAC: true,
+		Type: bus.Read, Addr: addr, IsDummy: dummy || write}
+	readArrive, _ := l.b.Transfer(sendReady, readPkt)
+	l.record(readArrive, readPkt.WireBytes(), readPkt.IsDummy)
+	l.lastReqWire = readArrive
+
+	writePkt := &bus.Packet{Channel: l.ch, Dir: bus.ProcToMem, HasCmd: true, HasMAC: true,
+		Data: make([]byte, bus.DataBytes), Type: bus.Write, Addr: addr, IsDummy: dummy || !write}
+	writeArrive, _ := l.b.Transfer(sendReady, writePkt)
+	l.record(writeArrive, writePkt.WireBytes(), writePkt.IsDummy)
+
+	// Memory side: decode after SerDes, service the real half, drop dummies.
+	decode := readArrive + obfus.SerDesLatency
+	var dataReady sim.Time
+	if dummy {
+		l.mem.DropDummy(decode)
+		l.mem.DropDummy(writeArrive + obfus.SerDesLatency)
+		dataReady = decode
+	} else if write {
+		l.mem.DropDummy(decode)
+		l.mem.Access(writeArrive+obfus.SerDesLatency, addr, true)
+		dataReady = decode
+	} else {
+		dataReady = l.mem.Access(decode, addr, false)
+		l.mem.DropDummy(writeArrive + obfus.SerDesLatency)
+	}
+
+	// Read-reply leg: every pair answers the read half with a data packet
+	// (dummy pairs too — the reply is part of the indistinguishable shape).
+	respReady := l.respEng.IssueOnly(dataReady, 4)
+	respPkt := &bus.Packet{Channel: l.ch, Dir: bus.MemToProc, HasMAC: true,
+		Data: make([]byte, bus.DataBytes), Type: bus.Read, Addr: addr, IsDummy: dummy || write}
+	respArrive, _ := l.b.Transfer(respReady, respPkt)
+	l.record(respArrive, respPkt.WireBytes(), respPkt.IsDummy)
+	return respArrive + obfus.SerDesLatency
+}
+
+// real services one open-loop arrival and notifies the peer lanes.
+func (l *openLane) real(at sim.Time, addr uint64, write bool) {
+	addr = l.mapper.WithChannel(addr, l.ch)
+	done := l.issuePair(at, addr, write, false)
+	l.issued++
+	if !write {
+		l.latencySum += done - at
+		l.reads++
+	}
+	// Cover notifications: the decision runs on the destination lane at
+	// at + FrontEndTime (>= the bus lookahead), against dst-local state.
+	when := at + obfus.FrontEndTime
+	for _, peer := range l.peers {
+		peer := peer
+		l.ep.Send(peer.ep, when, func() { peer.cover(when) })
+	}
+}
+
+// cover applies the Section 3.4 policy on this lane for a real request
+// elsewhere at time at.
+func (l *openLane) cover(at sim.Time) {
+	if !obfus.CoverNeeded(l.policy, l.b.IdleAt(l.ch, at), l.lastReqWire, at) {
+		return
+	}
+	l.covers++
+	l.issuePair(at, l.mapper.WithChannel(0, l.ch), false, true)
+}
+
+// OpenLoopResult is one run's outcome.
+type OpenLoopResult struct {
+	Table      *stats.Table
+	WireDigest uint64
+	// GapEntropyBits is the Shannon entropy of the merged wire view's
+	// inter-packet gaps (16 ns buckets): the same style of score the
+	// leakage observatory computes, recomputed here so the sharded path
+	// has a security-sensitive observable under the byte-identity gate.
+	GapEntropyBits float64
+	EventsFired    uint64
+}
+
+// RunOpenLoop executes one channel-sharded open-loop run and reduces it to
+// a deterministic report. Every reduction is ordered by channel (stats,
+// float sums) or by the (time, channel, seq) wire sort, never by shard.
+func RunOpenLoop(cfg OpenLoopConfig) OpenLoopResult {
+	if cfg.Channels <= 0 {
+		panic("system: open-loop run needs at least one channel")
+	}
+	if cfg.Requests <= 0 {
+		panic("system: open-loop run needs a positive request count")
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > cfg.Channels {
+		shards = cfg.Channels
+	}
+	profiles := cfg.Profiles
+	if len(profiles) == 0 {
+		profiles = workload.SPEC2006()
+	}
+
+	busCfg := bus.DefaultConfig(cfg.Channels)
+	busCfg.Metrics = cfg.Metrics
+	b := bus.New(busCfg)
+	memCfg := memctl.DefaultConfig(cfg.Channels)
+	memCfg.Metrics = cfg.Metrics
+	mem := memctl.New(memCfg)
+	se := sim.NewShardedEngine(shards, b.Lookahead())
+
+	rng := xrand.New(cfg.Seed ^ 0x0b5f)
+	lanes := make([]*openLane, cfg.Channels)
+	for ch := 0; ch < cfg.Channels; ch++ {
+		shard := b.ShardOf(ch, shards)
+		var key [16]byte
+		laneRng := rng.Fork(uint64(ch))
+		for i := 0; i < len(key); i += 8 {
+			v := laneRng.Uint64()
+			for j := 0; j < 8; j++ {
+				key[i+j] = byte(v >> (8 * j))
+			}
+		}
+		cipher, err := aes.NewCipher(key[:])
+		if err != nil {
+			panic("system: " + err.Error())
+		}
+		l := &openLane{
+			ch:       ch,
+			ep:       se.Endpoint(fmt.Sprintf("lane%d", ch), shard),
+			b:        b,
+			mem:      mem.Lane(ch, shard),
+			stream:   workload.NewStream(profiles[ch%len(profiles)], cfg.Seed^xrand.Mix64(uint64(ch))),
+			frontEnd: sim.NewResource(fmt.Sprintf("lane%d-fe", ch)),
+			reqEng:   aes.NewEngine(fmt.Sprintf("lane%d-req", ch), cipher),
+			respEng:  aes.NewEngine(fmt.Sprintf("lane%d-resp", ch), cipher),
+			mac:      md5sim.NewUnit(fmt.Sprintf("lane%d-mac", ch)),
+			policy:   cfg.Policy,
+			mapper:   mem.Mapper(),
+		}
+		lanes[ch] = l
+	}
+	for _, l := range lanes {
+		for _, p := range lanes {
+			if p != l {
+				l.peers = append(l.peers, p)
+			}
+		}
+	}
+
+	// Seed each lane's arrival chain: request i+1 arrives Gap after request
+	// i (open loop — no completion feedback), all shard-local events.
+	for _, l := range lanes {
+		l := l
+		var arrive func(t sim.Time, remaining int)
+		arrive = func(t sim.Time, remaining int) {
+			req := l.stream.Next()
+			l.real(t, req.Addr, req.Write)
+			if remaining > 1 {
+				l.ep.Schedule(t+req.Gap, func() { arrive(t+req.Gap, remaining-1) })
+			}
+		}
+		first := l.stream.Next().Gap
+		l.ep.Schedule(first, func() { arrive(first, cfg.Requests) })
+	}
+
+	se.Run()
+	return reduceOpenLoop(cfg, lanes, mem, b, se)
+}
+
+// reduceOpenLoop folds the per-lane state into the deterministic report.
+func reduceOpenLoop(cfg OpenLoopConfig, lanes []*openLane, mem *memctl.Controller, b *bus.Bus, se *sim.ShardedEngine) OpenLoopResult {
+	// Merge the wire views: stable (time, channel, seq) order.
+	var merged []openWireEvent
+	for _, l := range lanes {
+		merged = append(merged, l.wire...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		a, c := merged[i], merged[j]
+		if a.at != c.at {
+			return a.at < c.at
+		}
+		if a.ch != c.ch {
+			return a.ch < c.ch
+		}
+		return a.seq < c.seq
+	})
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	word := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf)
+	}
+	gaps := stats.NewHist()
+	var prev sim.Time
+	for i, ev := range merged {
+		word(uint64(ev.at))
+		word(uint64(ev.ch)<<32 | uint64(ev.bytes))
+		if i > 0 {
+			gaps.Add(uint64(ev.at-prev) / uint64(16*sim.Nanosecond))
+		}
+		prev = ev.at
+	}
+
+	table := stats.NewTable("Open-loop channel-sharded run",
+		"channel", "workload", "reqs", "covers", "read lat (ns)", "wire pkts", "wire bytes", "dropped", "pcm acc")
+	memStats := mem.Stats()
+	busStats := b.Stats()
+	totalReqs, totalCovers, totalPkts := 0, 0, 0
+	var totalBytes, totalDropped, totalAcc uint64
+	var latSum sim.Time
+	totalReads := 0
+	for ch, l := range lanes {
+		avgLat := 0.0
+		if l.reads > 0 {
+			avgLat = float64(l.latencySum) / float64(l.reads) / float64(sim.Nanosecond)
+		}
+		acc := l.mem.Device().Stats().Accesses
+		table.AddRowf(1, ch, l.stream.Profile().Name, l.issued, l.covers, avgLat,
+			len(l.wire), busStats[ch].Bytes, memStats[ch].DroppedDummies, acc)
+		totalReqs += l.issued
+		totalCovers += l.covers
+		totalPkts += len(l.wire)
+		totalBytes += busStats[ch].Bytes
+		totalDropped += memStats[ch].DroppedDummies
+		totalAcc += acc
+		latSum += l.latencySum
+		totalReads += l.reads
+	}
+	avgLat := 0.0
+	if totalReads > 0 {
+		avgLat = float64(latSum) / float64(totalReads) / float64(sim.Nanosecond)
+	}
+	table.AddRowf(1, -1, "TOTAL", totalReqs, totalCovers, avgLat,
+		totalPkts, totalBytes, totalDropped, totalAcc)
+
+	entropy := gaps.EntropyBits()
+	if math.IsNaN(entropy) {
+		entropy = 0
+	}
+	digest := h.Sum64()
+	table.AddNote("policy=%s lookahead=%v requests/lane=%d seed=%d", cfg.Policy, b.Lookahead(), cfg.Requests, cfg.Seed)
+	table.AddNote("wire digest=%016x gap entropy=%.4f bits (16ns buckets over %d gaps)", digest, entropy, gaps.N())
+	table.AddNote("per-lane front end (deviation from the shared Fig 3 front end; see DESIGN.md §10)")
+	return OpenLoopResult{Table: table, WireDigest: digest, GapEntropyBits: entropy, EventsFired: se.Fired()}
+}

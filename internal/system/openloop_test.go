@@ -1,0 +1,86 @@
+package system
+
+import (
+	"fmt"
+	"testing"
+
+	"obfusmem/internal/obfus"
+)
+
+// runOpen executes a small open-loop run and returns the rendered report.
+func runOpen(t *testing.T, shards int, policy obfus.ChannelPolicy) (string, OpenLoopResult) {
+	t.Helper()
+	cfg := DefaultOpenLoopConfig()
+	cfg.Shards = shards
+	cfg.Requests = 120
+	cfg.Policy = policy
+	res := RunOpenLoop(cfg)
+	return res.Table.String(), res
+}
+
+// TestOpenLoopShardCountInvariant is the system-level half of the
+// determinism gate: the full report — tables, wire digest, entropy score,
+// events fired — is byte-identical for every shard count.
+func TestOpenLoopShardCountInvariant(t *testing.T) {
+	for _, policy := range []obfus.ChannelPolicy{obfus.PolicyOPT, obfus.PolicyUNOPT} {
+		ref, refRes := runOpen(t, 1, policy)
+		for _, shards := range []int{2, 4, 8} {
+			got, res := runOpen(t, shards, policy)
+			if got != ref {
+				t.Fatalf("policy=%v shards=%d: report differs from sequential\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s",
+					policy, shards, ref, shards, got)
+			}
+			if res.WireDigest != refRes.WireDigest {
+				t.Fatalf("policy=%v shards=%d: wire digest %016x != %016x", policy, shards, res.WireDigest, refRes.WireDigest)
+			}
+			if res.EventsFired != refRes.EventsFired {
+				t.Fatalf("policy=%v shards=%d: fired %d events, sequential fired %d",
+					policy, shards, res.EventsFired, refRes.EventsFired)
+			}
+		}
+	}
+}
+
+// TestOpenLoopCoverPolicy pins the Section 3.4 behaviour in the open-loop
+// mode: UNOPT covers at least as much as OPT, and PolicyNone not at all.
+func TestOpenLoopCoverPolicy(t *testing.T) {
+	covers := func(policy obfus.ChannelPolicy) int {
+		_, res := runOpen(t, 2, policy)
+		n := 0
+		for r := 0; r < res.Table.Rows()-1; r++ {
+			// covers column is index 3.
+			var c int
+			if _, err := fmt.Sscan(res.Table.Cell(r, 3), &c); err != nil {
+				t.Fatalf("bad covers cell %q", res.Table.Cell(r, 3))
+			}
+			n += c
+		}
+		return n
+	}
+	none := covers(obfus.PolicyNone)
+	opt := covers(obfus.PolicyOPT)
+	unopt := covers(obfus.PolicyUNOPT)
+	if none != 0 {
+		t.Fatalf("PolicyNone injected %d covers", none)
+	}
+	if opt == 0 || unopt == 0 {
+		t.Fatalf("cover traffic missing: opt=%d unopt=%d", opt, unopt)
+	}
+	if unopt < opt {
+		t.Fatalf("UNOPT covered less than OPT: %d < %d", unopt, opt)
+	}
+}
+
+// TestOpenLoopRejectsBadConfig pins the constructor contracts.
+func TestOpenLoopRejectsBadConfig(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero channels", func() { RunOpenLoop(OpenLoopConfig{Requests: 1}) })
+	mustPanic("zero requests", func() { RunOpenLoop(OpenLoopConfig{Channels: 2}) })
+}

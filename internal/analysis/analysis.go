@@ -12,6 +12,8 @@ import (
 	"obfusmem/internal/analysis/passes/eventref"
 	"obfusmem/internal/analysis/passes/hotpath"
 	"obfusmem/internal/analysis/passes/metricnames"
+	"obfusmem/internal/analysis/passes/secretflow"
+	"obfusmem/internal/analysis/passes/shardown"
 	"obfusmem/internal/analysis/passes/wireonly"
 )
 
@@ -22,6 +24,8 @@ func All() []*framework.Analyzer {
 		eventref.Analyzer,
 		hotpath.Analyzer,
 		metricnames.Analyzer,
+		secretflow.Analyzer,
+		shardown.Analyzer,
 		wireonly.Analyzer,
 	}
 }

@@ -34,9 +34,10 @@ func TestRepositoryClean(t *testing.T) {
 	for _, d := range diags {
 		t.Errorf("%s: %s: %s", res.Fset.Position(d.Pos), d.Analyzer, d.Message)
 	}
-	for _, pkg := range res.Packages {
-		for _, m := range pkg.Annot.MalformedDirectives() {
-			t.Errorf("%s: malformed directive %q", res.Fset.Position(m.Pos), m.Text)
-		}
+	// Suppression hygiene rides the same run: malformed directives, unknown
+	// analyzer names, and //lint:allow comments that stopped suppressing
+	// anything are findings too.
+	for _, d := range framework.Hygiene(res.Packages, All()) {
+		t.Errorf("%s: %s(%s): %s", res.Fset.Position(d.Pos), d.Analyzer, d.Rule, d.Message)
 	}
 }

@@ -1,0 +1,278 @@
+// Control-flow graphs for the interprocedural passes.
+//
+// The CFG is deliberately small: basic blocks of statements with successor
+// edges, built syntactically from one function body. The dataflow engine
+// (taint.go) iterates its transfer functions over blocks in reverse
+// postorder, which converges the fixpoint in one or two sweeps instead of
+// the quadratic behaviour a source-order walk can hit on long dependency
+// chains; passes can also query it for reachability ("is there a wire sink
+// downstream of this branch?"). Panics, goto, and labeled breaks are
+// handled conservatively — an edge too many never loses a flow, it only
+// costs precision.
+package framework
+
+import "go/ast"
+
+// Block is one basic block: statements that execute in sequence, then a
+// transfer to one of Succs.
+type Block struct {
+	Index int
+	Stmts []ast.Stmt
+	Succs []*Block
+}
+
+// CFG is one function body's control-flow graph. Blocks[0] is the entry;
+// the exit is implicit (a block with no successors returns).
+type CFG struct {
+	Blocks []*Block
+}
+
+// cfgBuilder carries the loop/label context during construction.
+type cfgBuilder struct {
+	g      *CFG
+	breaks []*Block // innermost-last break targets (loops and switches)
+	conts  []*Block // innermost-last continue targets (loops only)
+}
+
+// NewCFG builds the control-flow graph of one function body. A nil body
+// (declaration without definition) yields a single empty block.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}}
+	entry := b.newBlock()
+	if body != nil {
+		b.stmts(entry, body.List)
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts threads the statement list through cur and returns the block control
+// falls out of, or nil if the list always transfers away (return/branch).
+func (b *cfgBuilder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after a terminator still gets a block so its
+			// expressions are visited by block-order walks.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// stmt adds one statement and returns the fallthrough block (nil when the
+// statement always transfers control away).
+func (b *cfgBuilder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: s.Cond})
+		thenB := b.newBlock()
+		link(cur, thenB)
+		thenOut := b.stmts(thenB, s.Body.List)
+		join := b.newBlock()
+		link(thenOut, join)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			link(cur, elseB)
+			link(b.stmt(elseB, s.Else), join)
+		} else {
+			link(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		head := b.newBlock()
+		link(cur, head)
+		if s.Cond != nil {
+			head.Stmts = append(head.Stmts, &ast.ExprStmt{X: s.Cond})
+		}
+		exit := b.newBlock()
+		link(head, exit)
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Stmts = append(post.Stmts, s.Post)
+		}
+		link(post, head)
+		b.breaks = append(b.breaks, exit)
+		b.conts = append(b.conts, post)
+		body := b.newBlock()
+		link(head, body)
+		link(b.stmts(body, s.Body.List), post)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		return exit
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		link(cur, head)
+		head.Stmts = append(head.Stmts, s) // the range clause itself (key/value binding)
+		exit := b.newBlock()
+		link(head, exit)
+		b.breaks = append(b.breaks, exit)
+		b.conts = append(b.conts, head)
+		body := b.newBlock()
+		link(head, body)
+		link(b.stmts(body, s.Body.List), head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		return exit
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return b.multiway(cur, s)
+
+	case *ast.ReturnStmt, *ast.DeferStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		if _, ok := s.(*ast.ReturnStmt); ok {
+			return nil
+		}
+		return cur
+
+	case *ast.BranchStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		// Labels are approximated by the innermost target: precise enough
+		// for dataflow ordering, conservative for reachability.
+		switch s.Tok.String() {
+		case "break":
+			if n := len(b.breaks); n > 0 {
+				link(cur, b.breaks[n-1])
+			}
+		case "continue":
+			if n := len(b.conts); n > 0 {
+				link(cur, b.conts[n-1])
+			}
+		}
+		return nil
+
+	case *ast.LabeledStmt:
+		head := b.newBlock()
+		link(cur, head)
+		return b.stmt(head, s.Stmt)
+
+	default:
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+	}
+}
+
+// multiway builds switch/type-switch/select: one block per clause, all
+// joining at a common exit.
+func (b *cfgBuilder) multiway(cur *Block, s ast.Stmt) *Block {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: s.Tag})
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		cur.Stmts = append(cur.Stmts, s.Assign)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	exit := b.newBlock()
+	b.breaks = append(b.breaks, exit)
+	var prevBody *Block // fallthrough chain
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: e})
+			}
+			hasDefault = hasDefault || c.List == nil
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				cur.Stmts = append(cur.Stmts, c.Comm)
+			}
+			hasDefault = hasDefault || c.Comm == nil
+			body = c.Body
+		}
+		blk := b.newBlock()
+		link(cur, blk)
+		link(prevBody, blk) // a trailing fallthrough lands here
+		out := b.stmts(blk, body)
+		if out != nil && endsInFallthrough(body) {
+			prevBody = out
+			continue
+		}
+		prevBody = nil
+		link(out, exit)
+	}
+	link(prevBody, exit)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if !hasDefault {
+		link(cur, exit) // no clause may match
+	}
+	return exit
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+// ReversePostorder returns the blocks in reverse postorder from the entry —
+// the canonical iteration order for a forward dataflow fixpoint.
+func (g *CFG) ReversePostorder() []*Block {
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				walk(s)
+			}
+		}
+		post = append(post, b)
+	}
+	walk(g.Blocks[0])
+	// Blocks unreachable from the entry (e.g. code after a terminator) are
+	// appended after the reachable ones so their statements still flow.
+	for _, b := range g.Blocks {
+		if !seen[b.Index] {
+			post = append(post, b)
+		}
+	}
+	out := make([]*Block, len(post))
+	for i, b := range post {
+		out[len(post)-1-i] = b
+	}
+	return out
+}

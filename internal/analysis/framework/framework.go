@@ -52,20 +52,58 @@ type Pass struct {
 	// of this module (nil outside a module-aware driver run, e.g. in
 	// single-package golden tests that do not need cross-package facts).
 	Module *annot.ModuleIndex
+	// Facts is the run-wide fact store: interprocedural passes export one
+	// summary per analyzed function and import their callees' summaries
+	// from earlier (dependency-ordered) packages of the same Run.
+	Facts *Facts
 
 	report func(Diagnostic)
 }
 
-// Reportf records a diagnostic at pos.
+// Reportf records a diagnostic at pos under the analyzer's default rule.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportRulef records a diagnostic at pos under a named sub-rule of the
+// analyzer (the machine-readable rule slug in -json output).
+func (p *Pass) ReportRulef(pos token.Pos, rule, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Rule: rule, Message: fmt.Sprintf(format, args...)})
 }
 
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Analyzer string
-	Pos      token.Pos
-	Message  string
+	// Rule is the analyzer sub-rule slug; defaults to the analyzer name.
+	Rule    string
+	Pos     token.Pos
+	Message string
+}
+
+// Facts is a run-wide store of per-function facts, keyed by (analyzer,
+// package import path, function key). Packages are analyzed in dependency
+// order, so by the time a caller's package runs, every module-internal
+// callee's facts are already exported.
+type Facts struct {
+	m map[factKey]any
+}
+
+type factKey struct{ analyzer, pkg, fn string }
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts { return &Facts{m: make(map[factKey]any)} }
+
+// Export records a fact for a function of the pass's package.
+func (f *Facts) Export(analyzer, pkg, fn string, v any) {
+	f.m[factKey{analyzer, pkg, fn}] = v
+}
+
+// Import returns the fact exported for the named function, or nil.
+func (f *Facts) Import(analyzer, pkg, fn string) any {
+	if f == nil {
+		return nil
+	}
+	return f.m[factKey{analyzer, pkg, fn}]
 }
 
 // Package is one loaded, type-checked package (see Load).
@@ -85,6 +123,7 @@ type Package struct {
 // needed.
 func Run(pkgs []*Package, analyzers []*Analyzer, module *annot.ModuleIndex) ([]Diagnostic, error) {
 	var out []Diagnostic
+	facts := NewFacts()
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -95,9 +134,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer, module *annot.ModuleIndex) ([]D
 				TypesInfo: pkg.Info,
 				Annot:     pkg.Annot,
 				Module:    module,
+				Facts:     facts,
 			}
 			pass.report = func(d Diagnostic) {
 				d.Analyzer = a.Name
+				if d.Rule == "" {
+					d.Rule = a.Name
+				}
 				if pkg.Annot.Allowed(a.Name, pkg.Fset, d.Pos) {
 					return
 				}
@@ -112,6 +155,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer, module *annot.ModuleIndex) ([]D
 	if len(pkgs) > 0 {
 		fset = pkgs[0].Fset
 	}
+	sortDiagnostics(fset, out)
+	return out, nil
+}
+
+// SortDiagnostics orders findings by (file, line, column, analyzer). Drivers
+// that merge Run output with Hygiene output use it to restore the canonical
+// order before printing.
+func SortDiagnostics(fset *token.FileSet, out []Diagnostic) {
+	sortDiagnostics(fset, out)
+}
+
+// sortDiagnostics orders findings by (file, line, column, analyzer).
+func sortDiagnostics(fset *token.FileSet, out []Diagnostic) {
 	sort.SliceStable(out, func(i, j int) bool {
 		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
 		if pi.Filename != pj.Filename {
@@ -125,5 +181,47 @@ func Run(pkgs []*Package, analyzers []*Analyzer, module *annot.ModuleIndex) ([]D
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out, nil
+}
+
+// Hygiene audits the packages' directives against the registered suite and
+// returns the suppression-hygiene findings: malformed directives, and
+// //lint:allow comments that either name an analyzer outside the suite or no
+// longer suppress anything. It must run after Run over the SAME packages with
+// the FULL suite — Run's suppression matching is what marks a site as having
+// earned its keep, so calling Hygiene after a partial run would flag
+// load-bearing suppressions as stale.
+func Hygiene(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	registered := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		registered[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, m := range pkg.Annot.MalformedDirectives() {
+			out = append(out, Diagnostic{
+				Analyzer: "annotation", Rule: "malformed-directive", Pos: m.Pos,
+				Message: fmt.Sprintf("malformed directive %q (want //lint:allow <analyzer> <reason>, //obfus:public <reason>, or //obfus:<directive>)", m.Text),
+			})
+		}
+		for _, s := range pkg.Annot.AllowSites() {
+			switch {
+			case !registered[s.Analyzer]:
+				out = append(out, Diagnostic{
+					Analyzer: "annotation", Rule: "unknown-rule-suppression", Pos: s.Pos,
+					Message: fmt.Sprintf("//lint:allow names %q, which is not a registered analyzer; a suppression must name a rule in the suite", s.Analyzer),
+				})
+			case !s.Used:
+				out = append(out, Diagnostic{
+					Analyzer: "annotation", Rule: "stale-suppression", Pos: s.Pos,
+					Message: fmt.Sprintf("stale //lint:allow: the %s analyzer reports nothing here any more; delete the suppression", s.Analyzer),
+				})
+			}
+		}
+	}
+	fset := (*token.FileSet)(nil)
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	sortDiagnostics(fset, out)
+	return out
 }

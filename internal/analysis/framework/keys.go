@@ -1,0 +1,17 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+
+	"obfusmem/internal/analysis/annot"
+)
+
+// FuncKey names a function for the Facts store: "Name" or "Recv.Name" with
+// pointer receivers stripped. Summaries are keyed by (package path, FuncKey)
+// strings rather than *types.Func identity because the same function is a
+// different object when seen from source and from export data.
+func FuncKey(fn *types.Func) string { return annot.FuncKey(fn) }
+
+// annotDeclKey is FuncKey computed syntactically from a declaration.
+func annotDeclKey(decl *ast.FuncDecl) string { return annot.DeclKey(decl) }

@@ -1,0 +1,924 @@
+// Interprocedural taint dataflow. This is the engine under the secretflow
+// analyzer: a pass instantiates TaintAnalysis with a TaintSpec describing
+// its sources (secret-bearing calls, fields, and parameters), sinks
+// (wire-observable call arguments and struct fields), and declassifiers,
+// and the engine does the rest — def-use propagation over go/types objects
+// inside each function (iterated in CFG reverse postorder to a fixpoint),
+// field-based propagation across functions of a package, and per-function
+// summaries exported through the run's Facts store so flows through calls
+// into already-analyzed packages are followed without re-walking them.
+//
+// The lattice is a 64-bit mask: bit 63 is "definitely secret-tainted"; bits
+// 0..61 name the enclosing function's parameters, which is how summaries
+// stay polyvariant ("result 0 carries whatever parameter 2 carried") without
+// re-analyzing callees per call site. Three precision choices are
+// deliberate and documented in DESIGN.md §11:
+//
+//   - Field stores are tracked per *field* (one mask per struct field of the
+//     package, any instance), not per object: precise enough to follow a
+//     plaintext address through a pending-write queue, cheap enough to run
+//     on every build. Only the secret bit crosses functions through fields —
+//     parameter bits are meaningless outside their function.
+//   - Only explicit flows propagate through assignments. The one implicit
+//     flow the analyzer models is the one the threat model cares about: a
+//     branch whose condition is tainted and whose body reaches a wire sink
+//     is reported (rule secret-guard), because the *choice* then modulates
+//     observable traffic even if no tainted value reaches the wire.
+//   - Values returned by wire sinks (e.g. a bus arrival time) are public by
+//     definition: the attacker already sees the wire, so feeding observable
+//     times back into later scheduling is the model working as designed.
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TaintMask is the dataflow lattice element: a union of taint origins.
+type TaintMask uint64
+
+// TaintSecret marks a value derived from a concrete secret source.
+const TaintSecret TaintMask = 1 << 63
+
+// ParamBit returns the mask bit naming flat parameter i (receiver first).
+// Parameters beyond the mask width saturate to secret-free zero — no
+// function in this module has 62 parameters, and losing a bit would only
+// lose precision, never a secret (secrets ride the dedicated bit).
+func ParamBit(i int) TaintMask {
+	if i < 0 || i >= 62 {
+		return 0
+	}
+	return 1 << uint(i)
+}
+
+// TaintSummary is one function's exported dataflow fact.
+type TaintSummary struct {
+	// Results holds, per result value, the parameter bits (and possibly
+	// TaintSecret) that flow into it.
+	Results []TaintMask
+	// ParamSink is the set of parameter bits that reach a wire sink
+	// somewhere inside the function (transitively).
+	ParamSink TaintMask
+	// SinksInside reports whether any wire sink is reachable in the
+	// function body (transitively) — the guard rule's reachability fact.
+	SinksInside bool
+	// Public marks a declassifier: callers treat every result as clean.
+	Public bool
+}
+
+func (s *TaintSummary) equal(o *TaintSummary) bool {
+	if o == nil || s.ParamSink != o.ParamSink || s.SinksInside != o.SinksInside || s.Public != o.Public || len(s.Results) != len(o.Results) {
+		return false
+	}
+	for i := range s.Results {
+		if s.Results[i] != o.Results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TaintSpec is the pass-supplied source/sink/declassifier model.
+type TaintSpec struct {
+	// Analyzer names the Facts namespace summaries live in.
+	Analyzer string
+	// SinkArgs returns the indices (into call.Args) of fn's wire-observable
+	// arguments, with a human-readable description, or nil.
+	SinkArgs func(fn *types.Func) (args []int, what string)
+	// SinkField reports whether storing into this field writes something
+	// wire-observable (owner is the field's struct type, nil if unknown).
+	SinkField func(owner types.Type, field *types.Var) (what string, ok bool)
+	// SourceCall reports whether fn's results are secret.
+	SourceCall func(fn *types.Func) bool
+	// SecretField reports whether reading this field yields a secret.
+	SecretField func(owner types.Type, field *types.Var) bool
+	// SecretParams returns the names of decl's parameters that are secret
+	// at entry (from its //obfus:secret annotation), or nil.
+	SecretParams func(decl *ast.FuncDecl) map[string]bool
+	// PublicFn reports whether fn is an annotated declassifier.
+	PublicFn func(fn *types.Func) bool
+	// PublicResults reports whether fn's results are wire-observable and
+	// therefore public by definition (e.g. bus arrival times).
+	PublicResults func(fn *types.Func) bool
+	// Report receives the findings during the final reporting sweep.
+	Report func(pos token.Pos, rule, format string, args ...any)
+}
+
+// TaintAnalysis runs the engine over one package.
+type TaintAnalysis struct {
+	Pass *Pass
+	Spec *TaintSpec
+
+	fieldTm map[*types.Var]TaintMask // per-field secret propagation
+	sums    map[string]*TaintSummary // this package's summaries, by decl key
+	decls   []*ast.FuncDecl
+}
+
+// Run analyzes every function of the pass's package to a fixpoint, reports
+// the findings, and exports one summary per function into Pass.Facts.
+func (ta *TaintAnalysis) Run() {
+	ta.fieldTm = make(map[*types.Var]TaintMask)
+	ta.sums = make(map[string]*TaintSummary)
+	for _, file := range ta.Pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				ta.decls = append(ta.decls, fn)
+			}
+		}
+	}
+	// Package-level fixpoint: summaries and field masks grow monotonically,
+	// so iteration terminates; the bound is belt and braces.
+	for iter := 0; iter < 16; iter++ {
+		changed := false
+		for _, decl := range ta.decls {
+			sum := ta.analyzeFunc(decl, false)
+			key := annotDeclKey(decl)
+			if !sum.equal(ta.sums[key]) {
+				ta.sums[key] = sum
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, decl := range ta.decls {
+		ta.analyzeFunc(decl, true)
+	}
+	if ta.Pass.Facts != nil {
+		for key, sum := range ta.sums {
+			ta.Pass.Facts.Export(ta.Spec.Analyzer, ta.Pass.Pkg.Path(), key, sum)
+		}
+	}
+}
+
+// summaryFor resolves a callee's summary: same-package summaries from the
+// current fixpoint state, cross-package ones from the Facts store.
+func (ta *TaintAnalysis) summaryFor(fn *types.Func) *TaintSummary {
+	if fn.Pkg() == nil {
+		return nil
+	}
+	key := FuncKey(fn)
+	if fn.Pkg() == ta.Pass.Pkg {
+		return ta.sums[key]
+	}
+	if s, ok := ta.Pass.Facts.Import(ta.Spec.Analyzer, fn.Pkg().Path(), key).(*TaintSummary); ok {
+		return s
+	}
+	return nil
+}
+
+// funcUnit is one analyzable body: the declaration itself or a function
+// literal inside it. Literal parameters carry no parameter bits — their
+// masks arrive by binding at (closure-variable) call sites.
+type funcUnit struct {
+	body    *ast.BlockStmt
+	ftype   *ast.FuncType
+	results []TaintMask
+	named   []*types.Var // named result objects, for naked returns
+}
+
+// taintState is the per-function engine state.
+type taintState struct {
+	ta     *TaintAnalysis
+	pass   *Pass
+	tm     map[types.Object]TaintMask
+	lits   map[types.Object]*ast.FuncLit // local closure bindings
+	units  map[*ast.FuncLit]*funcUnit
+	outer  *funcUnit
+	sum    *TaintSummary
+	report bool
+	change bool
+}
+
+// analyzeFunc runs the intra-function fixpoint for one declaration. With
+// report set it additionally emits diagnostics for secret-tainted sinks.
+func (ta *TaintAnalysis) analyzeFunc(decl *ast.FuncDecl, report bool) *TaintSummary {
+	st := &taintState{
+		ta:     ta,
+		pass:   ta.Pass,
+		tm:     make(map[types.Object]TaintMask),
+		lits:   make(map[types.Object]*ast.FuncLit),
+		units:  make(map[*ast.FuncLit]*funcUnit),
+		sum:    &TaintSummary{},
+		report: false, // quiet through the fixpoint; one reporting sweep below
+	}
+	// Flat parameter objects: receiver first, then parameters.
+	var params []*types.Var
+	if decl.Recv != nil && len(decl.Recv.List) > 0 && len(decl.Recv.List[0].Names) > 0 {
+		if obj, ok := ta.Pass.TypesInfo.Defs[decl.Recv.List[0].Names[0]].(*types.Var); ok {
+			params = append(params, obj)
+		}
+	}
+	for _, f := range decl.Type.Params.List {
+		for _, name := range f.Names {
+			if obj, ok := ta.Pass.TypesInfo.Defs[name].(*types.Var); ok {
+				params = append(params, obj)
+			}
+		}
+	}
+	secretNames := ta.Spec.SecretParams(decl)
+	for i, p := range params {
+		st.tm[p] = ParamBit(i)
+		if secretNames[p.Name()] {
+			st.tm[p] |= TaintSecret
+		}
+	}
+	st.outer = &funcUnit{body: decl.Body, ftype: decl.Type}
+	st.outer.results = make([]TaintMask, resultCount(decl.Type))
+	st.outer.named = namedResults(ta.Pass, decl.Type)
+	st.collectLits(decl.Body)
+
+	// Intra-function fixpoint over the unit set, statements in CFG reverse
+	// postorder. Masks grow monotonically, so this terminates; the bound
+	// only caps pathological cases.
+	orders := map[*funcUnit][]ast.Stmt{}
+	order := func(u *funcUnit) []ast.Stmt {
+		if s, ok := orders[u]; ok {
+			return s
+		}
+		var stmts []ast.Stmt
+		for _, b := range NewCFG(u.body).ReversePostorder() {
+			stmts = append(stmts, b.Stmts...)
+		}
+		orders[u] = stmts
+		return stmts
+	}
+	for iter := 0; iter < 32; iter++ {
+		st.change = false
+		for _, u := range st.allUnits() {
+			for _, s := range order(u) {
+				st.stmt(u, s)
+			}
+		}
+		if !st.change {
+			break
+		}
+	}
+	if report {
+		// Reporting sweep: one more pass over the converged state, the only
+		// one with reporting enabled so each finding fires exactly once.
+		st.report = true
+		for _, u := range st.allUnits() {
+			for _, s := range order(u) {
+				st.stmt(u, s)
+			}
+		}
+	}
+	// The guard rule: tainted branch conditions over wire-reaching regions.
+	st.guards(decl.Body)
+
+	sum := st.sum
+	sum.Results = st.outer.results
+	// Keep only parameter bits in exported masks; locals' bits mean nothing
+	// to callers. The secret bit passes through.
+	for i := range sum.Results {
+		sum.Results[i] &= paramMaskOf(len(params)) | TaintSecret
+	}
+	sum.ParamSink &= paramMaskOf(len(params))
+	if ta.Spec.PublicFn(declFunc(ta.Pass, decl)) {
+		sum.Public = true
+	}
+	return sum
+}
+
+func paramMaskOf(n int) TaintMask {
+	var m TaintMask
+	for i := 0; i < n; i++ {
+		m |= ParamBit(i)
+	}
+	return m
+}
+
+func declFunc(pass *Pass, decl *ast.FuncDecl) *types.Func {
+	fn, _ := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+	return fn
+}
+
+func resultCount(ft *ast.FuncType) int {
+	if ft.Results == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range ft.Results.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}
+
+func namedResults(pass *Pass, ft *ast.FuncType) []*types.Var {
+	if ft.Results == nil {
+		return nil
+	}
+	var out []*types.Var
+	for _, f := range ft.Results.List {
+		for _, name := range f.Names {
+			if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// collectLits indexes every function literal and its local variable
+// bindings (x := func(...){...}), so closure calls can bind argument masks.
+func (st *taintState) collectLits(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			st.units[n] = &funcUnit{
+				body:    n.Body,
+				ftype:   n.Type,
+				results: make([]TaintMask, resultCount(n.Type)),
+				named:   namedResults(st.pass, n.Type),
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if lit, ok := rhs.(*ast.FuncLit); ok && i < len(n.Lhs) {
+					if obj := exprObj(st.pass, n.Lhs[i]); obj != nil {
+						st.lits[obj] = lit
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// allUnits returns the outer unit plus every literal unit, outer first.
+func (st *taintState) allUnits() []*funcUnit {
+	out := []*funcUnit{st.outer}
+	ast.Inspect(st.outer.body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, st.units[lit])
+		}
+		return true
+	})
+	return out
+}
+
+// stmt applies one statement's transfer function for unit u. Control-flow
+// statements never appear here (the CFG decomposed them); nested FuncLit
+// bodies are separate units, so expression evaluation must not descend into
+// them — eval treats a FuncLit as an opaque, clean value.
+func (st *taintState) stmt(u *funcUnit, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		st.assignStmt(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						st.assign(name, st.eval(vs.Values[i]))
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		st.eval(s.X)
+	case *ast.ReturnStmt:
+		if len(s.Results) == 0 {
+			for i, obj := range u.named {
+				if i < len(u.results) {
+					st.grow(&u.results[i], st.tm[obj])
+				}
+			}
+			return
+		}
+		if len(s.Results) == 1 && len(u.results) > 1 {
+			// return f() returning a tuple
+			masks := st.callMasks(s.Results[0], len(u.results))
+			for i := range u.results {
+				st.grow(&u.results[i], masks[i])
+			}
+			return
+		}
+		for i, r := range s.Results {
+			if i < len(u.results) {
+				st.grow(&u.results[i], st.eval(r))
+			}
+		}
+	case *ast.RangeStmt:
+		m := st.eval(s.X)
+		if s.Key != nil {
+			st.assign(s.Key, m)
+		}
+		if s.Value != nil {
+			st.assign(s.Value, m)
+		}
+	case *ast.IncDecStmt:
+		st.eval(s.X)
+	case *ast.SendStmt:
+		st.eval(s.Chan)
+		st.eval(s.Value)
+	case *ast.GoStmt:
+		st.eval(s.Call)
+	case *ast.DeferStmt:
+		st.eval(s.Call)
+	case *ast.LabeledStmt:
+		st.stmt(u, s.Stmt)
+	}
+}
+
+func (st *taintState) assignStmt(s *ast.AssignStmt) {
+	if len(s.Lhs) > 1 && len(s.Rhs) == 1 {
+		masks := st.callMasks(s.Rhs[0], len(s.Lhs))
+		for i, lhs := range s.Lhs {
+			st.assign(lhs, masks[i])
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i < len(s.Rhs) {
+			st.assign(lhs, st.eval(s.Rhs[i]))
+		}
+	}
+}
+
+// callMasks evaluates a multi-value expression into n per-value masks.
+func (st *taintState) callMasks(e ast.Expr, n int) []TaintMask {
+	out := make([]TaintMask, n)
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		masks := st.call(call)
+		for i := range out {
+			if i < len(masks) {
+				out[i] = masks[i]
+			}
+		}
+		return out
+	}
+	// v, ok := m[k] / x.(T) / <-ch style: the value carries the operand mask.
+	m := st.eval(e)
+	for i := range out {
+		out[i] = m
+	}
+	return out
+}
+
+// grow unions mask into *dst, tracking the fixpoint's changed flag.
+func (st *taintState) grow(dst *TaintMask, m TaintMask) {
+	if *dst|m != *dst {
+		*dst |= m
+		st.change = true
+	}
+}
+
+// assign writes mask into an lvalue: variables keep full masks, field
+// stores keep the secret bit per field (and are checked as wire sinks),
+// element stores coarsely taint the container.
+func (st *taintState) assign(lhs ast.Expr, mask TaintMask) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		if obj := exprObj(st.pass, l); obj != nil {
+			m := st.tm[obj]
+			st.grow(&m, mask)
+			st.tm[obj] = m
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := st.pass.TypesInfo.Selections[l]; ok && sel.Kind() == types.FieldVal {
+			field, _ := sel.Obj().(*types.Var)
+			if field != nil {
+				st.checkSinkField(l.Sel.Pos(), sel.Recv(), field, mask)
+				m := st.ta.fieldTm[field]
+				st.grow(&m, mask&TaintSecret)
+				st.ta.fieldTm[field] = m
+			}
+			return
+		}
+		// Qualified package-level var: taint the object.
+		if obj := exprObj(st.pass, l.Sel); obj != nil {
+			m := st.tm[obj]
+			st.grow(&m, mask)
+			st.tm[obj] = m
+		}
+	case *ast.IndexExpr:
+		if root := rootObj(st.pass, l.X); root != nil {
+			m := st.tm[root]
+			st.grow(&m, mask|st.eval(l.Index))
+			st.tm[root] = m
+		}
+	case *ast.StarExpr:
+		if root := rootObj(st.pass, l.X); root != nil {
+			m := st.tm[root]
+			st.grow(&m, mask)
+			st.tm[root] = m
+		}
+	}
+}
+
+// checkSinkField records (and in the reporting sweep, reports) a store of a
+// tainted value into a wire-observable field.
+func (st *taintState) checkSinkField(pos token.Pos, owner types.Type, field *types.Var, mask TaintMask) {
+	what, ok := st.ta.Spec.SinkField(owner, field)
+	if !ok {
+		return
+	}
+	st.sum.SinksInside = true
+	st.grow(&st.sum.ParamSink, mask&^TaintSecret)
+	if st.report && mask&TaintSecret != 0 {
+		st.ta.Spec.Report(pos, "packet-shape", "secret-derived value stored into %s: %s", field.Name(), what)
+	}
+}
+
+// eval returns the taint mask of an expression.
+func (st *taintState) eval(e ast.Expr) TaintMask {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := exprObj(st.pass, e); obj != nil {
+			return st.tm[obj]
+		}
+	case *ast.ParenExpr:
+		return st.eval(e.X)
+	case *ast.SelectorExpr:
+		if sel, ok := st.pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			// Field reads are field-based, not object-based: x.f carries
+			// what has ever been stored into f (plus f's annotation), NOT
+			// the whole-struct mask of x. This is the precision that lets a
+			// mixed struct carry a secret address and a public ready-time
+			// side by side without the public field inheriting the taint.
+			field, _ := sel.Obj().(*types.Var)
+			var m TaintMask
+			if field != nil {
+				if st.ta.Spec.SecretField(sel.Recv(), field) {
+					m |= TaintSecret
+				}
+				m |= st.ta.fieldTm[field]
+			}
+			st.eval(e.X) // still walk the base for its side effects (calls)
+			return m
+		}
+		// Qualified ident (pkg.Var) or method value.
+		if obj := exprObj(st.pass, e.Sel); obj != nil {
+			if v, ok := obj.(*types.Var); ok {
+				return st.tm[v]
+			}
+		}
+		return 0
+	case *ast.StarExpr:
+		return st.eval(e.X)
+	case *ast.UnaryExpr:
+		return st.eval(e.X)
+	case *ast.BinaryExpr:
+		return st.eval(e.X) | st.eval(e.Y)
+	case *ast.IndexExpr:
+		// Generic instantiation of a function shows up as IndexExpr too;
+		// for container reads, the element carries container | index taint
+		// (a secret-indexed read of a public table is secret-shaped).
+		return st.eval(e.X) | st.eval(e.Index)
+	case *ast.SliceExpr:
+		m := st.eval(e.X)
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				m |= st.eval(idx)
+			}
+		}
+		return m
+	case *ast.CompositeLit:
+		return st.compositeLit(e)
+	case *ast.TypeAssertExpr:
+		return st.eval(e.X)
+	case *ast.CallExpr:
+		masks := st.call(e)
+		var m TaintMask
+		for _, r := range masks {
+			m |= r
+		}
+		return m
+	case *ast.FuncLit:
+		return 0 // bodies are separate units
+	}
+	return 0
+}
+
+// compositeLit unions element masks and checks keyed struct fields against
+// the sink-field table (a bus.Packet literal is a store into every field it
+// names).
+func (st *taintState) compositeLit(lit *ast.CompositeLit) TaintMask {
+	var m TaintMask
+	owner := st.pass.TypesInfo.TypeOf(lit)
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			m |= st.eval(el)
+			continue
+		}
+		vm := st.eval(kv.Value)
+		m |= vm
+		if key, ok := kv.Key.(*ast.Ident); ok {
+			if field, ok := st.pass.TypesInfo.Uses[key].(*types.Var); ok && field.IsField() {
+				st.checkSinkField(kv.Value.Pos(), owner, field, vm)
+				// A keyed literal is a field store: feed the field mask.
+				fm := st.ta.fieldTm[field]
+				st.grow(&fm, vm&TaintSecret)
+				st.ta.fieldTm[field] = fm
+			}
+		}
+	}
+	return m
+}
+
+// call applies a call's transfer function and returns per-result masks.
+func (st *taintState) call(call *ast.CallExpr) []TaintMask {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversion: T(x).
+	if tv, ok := st.pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		return []TaintMask{st.evalArgs(call, 0)}
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := st.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				return []TaintMask{st.evalArgs(call, 1)} // size taints the result
+			case "new", "recover":
+				return []TaintMask{0}
+			case "copy":
+				if len(call.Args) == 2 {
+					st.assign(call.Args[0], st.eval(call.Args[1]))
+				}
+				return []TaintMask{0}
+			default:
+				return []TaintMask{st.evalArgs(call, 0)}
+			}
+		}
+	}
+
+	fn := staticCallee(st.pass, call)
+	if fn == nil {
+		// Dynamic call: a known local closure binds its parameters;
+		// otherwise propagate the union of arguments.
+		if obj := calleeObj(st.pass, call); obj != nil {
+			if lit, ok := st.lits[obj]; ok {
+				return st.closureCall(lit, call)
+			}
+		}
+		return []TaintMask{st.evalArgs(call, 0)}
+	}
+
+	// Flat argument masks: receiver (for method calls) first.
+	var args []TaintMask
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, ok := st.pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			args = append(args, st.eval(sel.X))
+		}
+	}
+	for _, a := range call.Args {
+		args = append(args, st.eval(a))
+	}
+
+	// Hard-coded wire sinks.
+	if sinkArgs, what := st.ta.Spec.SinkArgs(fn); sinkArgs != nil {
+		st.sum.SinksInside = true
+		for _, i := range sinkArgs {
+			if i < 0 || i >= len(call.Args) {
+				continue
+			}
+			m := st.eval(call.Args[i])
+			st.grow(&st.sum.ParamSink, m&^TaintSecret)
+			if st.report && m&TaintSecret != 0 {
+				st.ta.Spec.Report(call.Args[i].Pos(), "secret-to-sink",
+					"secret-derived value reaches %s (%s): nothing observable on the wire may depend on a secret", fn.Name(), what)
+			}
+		}
+	}
+
+	// Sources and declassifiers take precedence over summaries.
+	nres := callResults(st.pass, call)
+	if st.ta.Spec.SourceCall(fn) {
+		return uniformMasks(nres, TaintSecret)
+	}
+	if st.ta.Spec.PublicFn(fn) || st.ta.Spec.PublicResults(fn) {
+		return uniformMasks(nres, 0)
+	}
+
+	if sum := st.ta.summaryFor(fn); sum != nil {
+		if sum.SinksInside {
+			st.sum.SinksInside = true
+		}
+		// Arguments whose mask reaches a sink inside the callee: one report
+		// per call site however many arguments leak.
+		leaking := false
+		for j, am := range args {
+			if sum.ParamSink&ParamBit(j) == 0 {
+				continue
+			}
+			st.grow(&st.sum.ParamSink, am&^TaintSecret)
+			leaking = leaking || am&TaintSecret != 0
+		}
+		if leaking && st.report {
+			st.ta.Spec.Report(call.Pos(), "secret-to-sink",
+				"secret-derived argument flows to a wire-observable sink inside %s", fn.Name())
+		}
+		if sum.Public {
+			return uniformMasks(nres, 0)
+		}
+		out := make([]TaintMask, nres)
+		for i := 0; i < nres && i < len(sum.Results); i++ {
+			rm := sum.Results[i]
+			out[i] = rm & TaintSecret
+			for j, am := range args {
+				if rm&ParamBit(j) != 0 {
+					out[i] |= am
+				}
+			}
+		}
+		return out
+	}
+
+	// Unknown callee (stdlib, unanalyzed package): conservative propagate.
+	var m TaintMask
+	for _, am := range args {
+		m |= am
+	}
+	return uniformMasks(nres, m)
+}
+
+// closureCall binds argument masks into a local literal's parameters and
+// returns its current result masks.
+func (st *taintState) closureCall(lit *ast.FuncLit, call *ast.CallExpr) []TaintMask {
+	u := st.units[lit]
+	var params []*types.Var
+	for _, f := range lit.Type.Params.List {
+		for _, name := range f.Names {
+			if obj, ok := st.pass.TypesInfo.Defs[name].(*types.Var); ok {
+				params = append(params, obj)
+			}
+		}
+	}
+	for i, a := range call.Args {
+		if i < len(params) {
+			m := st.tm[params[i]]
+			st.grow(&m, st.eval(a))
+			st.tm[params[i]] = m
+		}
+	}
+	if u == nil {
+		return []TaintMask{0}
+	}
+	out := make([]TaintMask, len(u.results))
+	copy(out, u.results)
+	if len(out) == 0 {
+		out = []TaintMask{0}
+	}
+	return out
+}
+
+func (st *taintState) evalArgs(call *ast.CallExpr, from int) TaintMask {
+	var m TaintMask
+	for i, a := range call.Args {
+		if i >= from {
+			m |= st.eval(a)
+		}
+	}
+	return m
+}
+
+func uniformMasks(n int, m TaintMask) []TaintMask {
+	if n <= 0 {
+		n = 1
+	}
+	out := make([]TaintMask, n)
+	for i := range out {
+		out[i] = m
+	}
+	return out
+}
+
+// callResults returns the number of values a call produces.
+func callResults(pass *Pass, call *ast.CallExpr) int {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return 1
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		return tup.Len()
+	}
+	return 1
+}
+
+// guards walks the body for the implicit-flow rule: a branch condition
+// carrying taint over a region that (transitively) reaches a wire sink.
+func (st *taintState) guards(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var cond ast.Expr
+		var region ast.Node
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			cond, region = n.Cond, n
+		case *ast.SwitchStmt:
+			if n.Tag == nil {
+				return true
+			}
+			cond, region = n.Tag, n.Body
+		default:
+			return true
+		}
+		m := st.eval(cond)
+		if m == 0 || !st.reachesWire(region) {
+			return true
+		}
+		st.sum.SinksInside = true
+		st.grow(&st.sum.ParamSink, m&^TaintSecret)
+		if st.report && m&TaintSecret != 0 {
+			st.ta.Spec.Report(cond.Pos(), "secret-guard",
+				"branch on a secret-derived condition guards wire-observable effects: the choice itself modulates observable traffic")
+		}
+		return true
+	})
+}
+
+// reachesWire reports whether the subtree contains a call that is a wire
+// sink or whose summary says a sink is reachable inside.
+func (st *taintState) reachesWire(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(st.pass, call)
+		if fn == nil {
+			return true
+		}
+		if args, _ := st.ta.Spec.SinkArgs(fn); args != nil {
+			found = true
+			return false
+		}
+		if sum := st.ta.summaryFor(fn); sum != nil && sum.SinksInside {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// staticCallee resolves a call's static *types.Func, or nil.
+func staticCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	fn, _ := calleeObj(pass, call).(*types.Func)
+	return fn
+}
+
+func calleeObj(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// exprObj resolves an identifier-shaped expression to its object.
+func exprObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// rootObj strips selectors, indexes, derefs, and calls down to the base
+// identifier's object.
+func rootObj(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return exprObj(pass, x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -33,6 +33,7 @@ type listPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	Standard   bool
 	DepOnly    bool
@@ -80,7 +81,7 @@ func Load(dir string, patterns ...string) (*Result, error) {
 			targets = append(targets, p)
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	sortTargets(targets)
 
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
@@ -194,11 +195,46 @@ func checkPackage(fset *token.FileSet, imp types.Importer, importPath string, fi
 	}, nil
 }
 
+// sortTargets orders packages topologically — dependencies before
+// dependents — so interprocedural passes find their callees' summaries
+// already exported by the time a caller's package runs. Ties (packages with
+// no dependency relation) break by import path, keeping the order
+// deterministic for a given module graph.
+func sortTargets(targets []*listPackage) {
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	byPath := make(map[string]*listPackage, len(targets))
+	for _, p := range targets {
+		byPath[p.ImportPath] = p
+	}
+	state := make(map[string]int, len(targets)) // 0 unvisited, 1 visiting, 2 done
+	out := make([]*listPackage, 0, len(targets))
+	var visit func(p *listPackage)
+	visit = func(p *listPackage) {
+		if state[p.ImportPath] != 0 {
+			return // done, or a cycle (impossible in a valid build) — skip
+		}
+		state[p.ImportPath] = 1
+		deps := append([]string(nil), p.Imports...)
+		sort.Strings(deps)
+		for _, imp := range deps {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.ImportPath] = 2
+		out = append(out, p)
+	}
+	for _, p := range targets {
+		visit(p)
+	}
+	copy(targets, out)
+}
+
 // goList shells out to the go tool for the package graph with export data.
 func goList(dir string, patterns []string) ([]*listPackage, error) {
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Incomplete",
+		"-json=ImportPath,Dir,GoFiles,Imports,Export,Standard,DepOnly,Incomplete",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir

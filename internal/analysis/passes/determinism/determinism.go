@@ -4,7 +4,8 @@
 // accidents.
 //
 // Within the scoped packages (sim, obfus, palermo, backend, bus, memctl,
-// pcm, exp, metrics, trace, leakage, stats, campaign) the analyzer reports:
+// pcm, exp, metrics, trace, leakage, stats, campaign, system, workload) the
+// analyzer reports:
 //
 //   - time.Now / time.Since outside functions annotated //obfus:wallclock.
 //     Wall time may feed throughput gauges, never simulated state, and the
@@ -60,7 +61,7 @@ var scoped = map[string]bool{
 	"sim": true, "obfus": true, "palermo": true, "backend": true,
 	"bus": true, "memctl": true, "pcm": true, "exp": true,
 	"metrics": true, "trace": true, "leakage": true, "stats": true,
-	"campaign": true,
+	"campaign": true, "system": true, "workload": true,
 }
 
 // inScope reports whether the import path is .../internal/<scoped leaf>.

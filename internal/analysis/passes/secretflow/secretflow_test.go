@@ -1,0 +1,12 @@
+package secretflow_test
+
+import (
+	"testing"
+
+	"obfusmem/internal/analysis/analysistest"
+	"obfusmem/internal/analysis/passes/secretflow"
+)
+
+func TestSecretFlow(t *testing.T) {
+	analysistest.Run(t, "secretflow", "obfusmem/lint/secretflow", secretflow.Analyzer)
+}

@@ -1,0 +1,320 @@
+// Package shardown machine-checks the sharded engine's ownership
+// discipline: lane-owned state (//obfus:owned types — memctl.Lane, per-shard
+// device state, the open-loop lane) must be reachable from exactly one
+// shard's worker. The -race detector catches violations only on schedules
+// that actually interleave; this pass proves the discipline structurally.
+//
+// An ownership context is a region of code that runs on one shard: the body
+// of a method whose receiver is an owned type (owner = the receiver), a
+// closure passed to Endpoint.Schedule (owner = the root of the endpoint
+// chain, e.g. l in l.ep.Schedule), or a closure passed to Endpoint.Send
+// (owner = the root of the destination endpoint, e.g. peer in
+// l.ep.Send(peer.ep, ...), because the closure executes on the destination
+// shard). Local function variables called from a context are expanded into
+// it — the recursive self-rescheduling closure idiom stays checkable.
+//
+// Inside a context, touching an owned object other than the owner is
+// reported by mutation surface:
+//
+//	cross-lane-capture     reading another lane's state (field read)
+//	non-send-mutation      writing it, or calling a method on it — the
+//	                       only legal cross-shard mutation path is a
+//	                       message via Endpoint.Send
+//	shared-pointer-message smuggling the owned pointer itself across the
+//	                       boundary (as a call argument or stored value)
+//
+// The one allowed foreign touch is selecting an Endpoint-typed field
+// (peer.ep as a Send destination): addressing a peer is how shards talk.
+// Construction and wiring code with no ownership context — free functions
+// that build lanes before the simulation starts — is out of scope by
+// design; the discipline governs what runs on shard workers.
+package shardown
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+
+	"obfusmem/internal/analysis/annot"
+	"obfusmem/internal/analysis/framework"
+)
+
+// Analyzer is the shardown pass.
+var Analyzer = &framework.Analyzer{
+	Name: "shardown",
+	Doc:  "proves //obfus:owned lane state is reachable from exactly one shard's worker: cross-lane captures, non-Send mutations, and shared-pointer messages are findings",
+	Run:  run,
+}
+
+// scoped lists the package basenames the ownership discipline governs.
+var scoped = map[string]bool{
+	"memctl":   true,
+	"pcm":      true,
+	"system":   true,
+	"shardown": true, // golden test packages
+}
+
+type checker struct {
+	pass *framework.Pass
+	// contextLits are closures that form their own ownership contexts; the
+	// enclosing context's walk must not descend into them.
+	contextLits map[*ast.FuncLit]bool
+	// bindings maps local variables to the function literals they hold, for
+	// expanding same-context calls through closure variables.
+	bindings map[types.Object]*ast.FuncLit
+}
+
+func run(pass *framework.Pass) error {
+	if !scoped[path.Base(pass.Pkg.Path())] && !scoped[pass.Pkg.Name()] {
+		return nil
+	}
+	c := &checker{pass: pass}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c.contextLits = make(map[*ast.FuncLit]bool)
+			c.bindings = make(map[types.Object]*ast.FuncLit)
+			type context struct {
+				body  *ast.BlockStmt
+				owner types.Object
+			}
+			var contexts []context
+
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						if lit, ok := rhs.(*ast.FuncLit); ok && i < len(n.Lhs) {
+							if id, ok := n.Lhs[i].(*ast.Ident); ok {
+								if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+									c.bindings[obj] = lit
+								} else if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+									c.bindings[obj] = lit
+								}
+							}
+						}
+					}
+				case *ast.CallExpr:
+					owner, lit := c.endpointContext(n)
+					if lit != nil {
+						c.contextLits[lit] = true
+						if owner != nil {
+							contexts = append(contexts, context{lit.Body, owner})
+						}
+					}
+				}
+				return true
+			})
+
+			// A method on an owned type is its receiver's context. It runs
+			// synchronously on the owner's shard, so holding references to
+			// peers (to address them) is legal there — only closures that
+			// cross a shard boundary check the shared-pointer rule.
+			if recv := c.ownedReceiver(fn); recv != nil {
+				c.walk(fn.Body, recv, false, make(map[*ast.FuncLit]bool))
+			}
+			for _, ctx := range contexts {
+				c.walk(ctx.body, ctx.owner, true, make(map[*ast.FuncLit]bool))
+			}
+		}
+	}
+	return nil
+}
+
+// endpointContext recognizes Endpoint.Schedule / Endpoint.Send calls and
+// returns the ownership context they spawn: the closure argument and the
+// owned object whose shard will run it (nil when the owner is not rooted in
+// an owned object, e.g. a bare endpoint variable in an engine test).
+func (c *checker) endpointContext(call *ast.CallExpr) (types.Object, *ast.FuncLit) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal || !isEndpoint(s.Recv()) {
+		return nil, nil
+	}
+	var ownerExpr, fnArg ast.Expr
+	switch sel.Sel.Name {
+	case "Schedule":
+		if len(call.Args) != 2 {
+			return nil, nil
+		}
+		ownerExpr, fnArg = sel.X, call.Args[1]
+	case "Send":
+		if len(call.Args) != 3 {
+			return nil, nil
+		}
+		ownerExpr, fnArg = call.Args[0], call.Args[2]
+	default:
+		return nil, nil
+	}
+	lit, ok := ast.Unparen(fnArg).(*ast.FuncLit)
+	if !ok {
+		return nil, nil
+	}
+	root := c.rootIdentObj(ownerExpr)
+	if root == nil || !c.owned(root.Type()) {
+		return nil, lit
+	}
+	return root, lit
+}
+
+// walk checks one ownership context's body: every owned object referenced
+// must be the owner, modulo endpoint addressing. closure marks contexts that
+// execute on another shard than the code that built them (Schedule/Send
+// bodies), where even holding a foreign owned pointer is a finding. seen
+// guards closure-call expansion against the recursive-reschedule cycle.
+func (c *checker) walk(body ast.Node, owner types.Object, closure bool, seen map[*ast.FuncLit]bool) {
+	handled := make(map[*ast.Ident]bool)
+	foreign := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || handled[id] {
+			return nil
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		if obj == nil || obj == owner || !c.owned(obj.Type()) {
+			return nil
+		}
+		handled[id] = true
+		return obj
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested Schedule/Send closure is its own context.
+			return !c.contextLits[n]
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if obj := foreign(rootExpr(lhs)); obj != nil {
+					c.pass.ReportRulef(lhs.Pos(), "non-send-mutation",
+						"shard-owned %s is written outside its owner's context: cross-shard mutation must travel as an Endpoint.Send message", obj.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := foreign(rootExpr(n.X)); obj != nil {
+				c.pass.ReportRulef(n.X.Pos(), "non-send-mutation",
+					"shard-owned %s is written outside its owner's context: cross-shard mutation must travel as an Endpoint.Send message", obj.Name())
+			}
+		case *ast.CallExpr:
+			// Calling a local closure variable pulls its body into this
+			// context.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+					if lit, ok := c.bindings[obj]; ok && !seen[lit] {
+						seen[lit] = true
+						c.walk(lit.Body, owner, closure, seen)
+					}
+				}
+			}
+			// A method call on foreign owned state executes that lane's
+			// code on this shard — a mutation path.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if s, ok := c.pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal && !isEndpoint(s.Recv()) {
+					if obj := foreign(rootExpr(sel.X)); obj != nil {
+						c.pass.ReportRulef(sel.X.Pos(), "non-send-mutation",
+							"method call on shard-owned %s from another shard's context: route the mutation through Endpoint.Send", obj.Name())
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if s, ok := c.pass.TypesInfo.Selections[n]; ok && s.Kind() == types.FieldVal {
+				root := rootExpr(n.X)
+				if id, ok := ast.Unparen(root).(*ast.Ident); ok && !handled[id] {
+					obj := c.pass.TypesInfo.Uses[id]
+					if obj != nil && obj != owner && c.owned(obj.Type()) {
+						handled[id] = true
+						if isEndpoint(s.Type()) {
+							break // peer.ep: addressing a peer is how shards talk
+						}
+						c.pass.ReportRulef(n.Pos(), "cross-lane-capture",
+							"shard-owned %s's state is read from another shard's context: lane state is reachable from exactly one worker", obj.Name())
+					}
+				}
+			}
+		case *ast.Ident:
+			if handled[n] || !closure {
+				break
+			}
+			obj := c.pass.TypesInfo.Uses[n]
+			// Only captured variables smuggle pointers; a field named after
+			// an owned type (l.mem) is reached through its root, which the
+			// selector rules already judged.
+			if v, ok := obj.(*types.Var); !ok || v.IsField() {
+				break
+			}
+			if obj != owner && c.owned(obj.Type()) {
+				handled[n] = true
+				c.pass.ReportRulef(n.Pos(), "shared-pointer-message",
+					"shard-owned %s escapes its shard as a shared pointer: send values, not lane state", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// ownedReceiver returns the receiver object when fn is a method on an
+// //obfus:owned type.
+func (c *checker) ownedReceiver(fn *ast.FuncDecl) types.Object {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	obj := c.pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]
+	if obj == nil || !c.owned(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// owned reports whether t (possibly a pointer) is an //obfus:owned type.
+func (c *checker) owned(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg() == c.pass.Pkg {
+		return c.pass.Annot.TypeHas(n.Obj().Name(), annot.Owned)
+	}
+	return c.pass.Module.TypeHas(n.Obj(), annot.Owned)
+}
+
+// isEndpoint reports whether t is sim.Endpoint (possibly behind a pointer).
+func isEndpoint(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Endpoint" && n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "sim"
+}
+
+// rootExpr strips selectors, indexes, derefs, and parens down to the base
+// expression.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return ast.Unparen(e)
+		}
+	}
+}
+
+// rootIdentObj resolves an expression's base identifier to its object.
+func (c *checker) rootIdentObj(e ast.Expr) types.Object {
+	id, ok := rootExpr(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return c.pass.TypesInfo.Uses[id]
+}

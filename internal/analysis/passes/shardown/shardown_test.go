@@ -1,0 +1,12 @@
+package shardown_test
+
+import (
+	"testing"
+
+	"obfusmem/internal/analysis/analysistest"
+	"obfusmem/internal/analysis/passes/shardown"
+)
+
+func TestShardOwnership(t *testing.T) {
+	analysistest.Run(t, "shardown", "obfusmem/lint/shardown", shardown.Analyzer)
+}

@@ -1,0 +1,109 @@
+// Package shardown is the golden corpus for the shardown analyzer: seeded
+// violations of the lane-ownership discipline, plus the legal idioms that
+// must stay silent.
+package shardown
+
+import (
+	"obfusmem/internal/sim"
+)
+
+// lane is the golden stand-in for memctl.Lane: per-shard state that must be
+// reachable from exactly one shard's worker.
+//
+//obfus:owned
+type lane struct {
+	ep   *sim.Endpoint
+	hits int
+}
+
+func (l *lane) bump() { l.hits++ }
+
+// record is plain data — not owned, freely shareable.
+type record struct{ n int }
+
+func consume(*lane) {}
+
+// ownReschedule is the legal hot idiom: a lane schedules follow-up work on
+// itself, including through a recursive closure variable.
+func ownReschedule(l *lane) {
+	var again func(sim.Time)
+	again = func(t sim.Time) {
+		l.hits++
+		if t < 100 {
+			l.ep.Schedule(t+1, func() { again(t + 1) })
+		}
+	}
+	l.ep.Schedule(1, func() { again(1) })
+}
+
+// sendMessage is the legal cross-shard idiom: address the peer's endpoint,
+// and let the closure run in the peer's own context.
+func sendMessage(l, peer *lane) {
+	l.ep.Send(peer.ep, 10, func() {
+		peer.bump()
+	})
+}
+
+// captureForeign seeds the cross-lane capture: a shard closure reading
+// another lane's state.
+func captureForeign(l, other *lane) {
+	l.ep.Schedule(1, func() {
+		n := other.hits // want "shard-owned other's state is read from another shard's context"
+		_ = n
+	})
+}
+
+// mutateForeign seeds the non-Send mutation path: writing another lane's
+// state directly instead of sending a message.
+func mutateForeign(l, other *lane) {
+	l.ep.Schedule(1, func() {
+		other.hits = 7 // want "shard-owned other is written outside its owner's context"
+	})
+	l.ep.Schedule(2, func() {
+		other.hits++ // want "shard-owned other is written outside its owner's context"
+	})
+	l.ep.Schedule(3, func() {
+		other.bump() // want "method call on shard-owned other from another shard's context"
+	})
+}
+
+// smugglePointer seeds the shared-pointer message: the owned pointer itself
+// crosses the shard boundary inside a Send closure.
+func smugglePointer(l, peer *lane) {
+	l.ep.Send(peer.ep, 10, func() {
+		consume(l) // want "shard-owned l escapes its shard as a shared pointer"
+	})
+}
+
+// methodContext seeds the same rules inside an owned method body, where the
+// receiver is the owner.
+func (l *lane) poke(other *lane) {
+	other.hits = 1 // want "shard-owned other is written outside its owner's context"
+	l.hits++       // the receiver is the owner: silent
+}
+
+// expansion seeds detection through a closure variable called from the
+// context.
+func expansion(l, other *lane) {
+	touch := func() {
+		other.hits++ // want "shard-owned other is written outside its owner's context"
+	}
+	l.ep.Schedule(1, func() { touch() })
+}
+
+// suppressed shows the audited escape hatch: a reasoned //lint:allow.
+func suppressed(l, other *lane) {
+	l.ep.Schedule(1, func() {
+		//lint:allow shardown golden exercise of the suppression path
+		other.hits = 9
+	})
+}
+
+// wiring is construction code with no ownership context: building lanes
+// before the simulation starts is out of scope by design.
+func wiring(eng *sim.ShardedEngine, lanes []*lane) {
+	for _, l := range lanes {
+		l.hits = 0
+	}
+	_ = record{n: len(lanes)}
+}

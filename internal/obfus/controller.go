@@ -497,6 +497,8 @@ func (c *Controller) dummyAddrFor(cs *chanState, realAddr uint64, ch int) uint64
 // delivered (nil if dropped in flight). readyAt is when the packet may
 // first occupy the bus.
 // sealPayload transit-encrypts a value-carrying payload (nil passthrough).
+//
+//obfus:public ciphertext after AES-CTR transit encryption is computationally independent of the payload
 func (c *Controller) sealPayload(cs *chanState, ch int, padBase uint64, data *memctl.Block) []byte {
 	if data == nil {
 		return nil

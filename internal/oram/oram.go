@@ -160,6 +160,8 @@ func (o *ORAM) onPath(leafA, leafB, level int) bool {
 
 // Access performs one ORAM operation. For OpWrite, data is stored (copied);
 // for OpRead, the current value is returned (nil if never written).
+//
+//obfus:secret block data
 func (o *ORAM) Access(op Op, block int, data []byte) ([]byte, error) {
 	return o.access(op, block, data, nil, -1, -1)
 }
@@ -168,6 +170,8 @@ func (o *ORAM) Access(op Op, block int, data []byte) ([]byte, error) {
 // block's current contents (nil if never written) and returns the new
 // contents. One path read + one eviction, like any other access — the
 // primitive recursive position-map ORAMs are built on.
+//
+//obfus:secret block
 func (o *ORAM) AccessUpdate(block int, fn func(old []byte) []byte) ([]byte, error) {
 	return o.access(OpWrite, block, nil, fn, -1, -1)
 }
@@ -176,6 +180,8 @@ func (o *ORAM) AccessUpdate(block int, fn func(old []byte) []byte) ([]byte, erro
 // the caller supplies the block's current leaf (as recorded in the level
 // above) and the fresh leaf to remap to. Used by the recursive ORAM, where
 // each level's position map lives in the next smaller ORAM.
+//
+//obfus:secret block curLeaf newLeaf
 func (o *ORAM) AccessUpdateExt(block, curLeaf, newLeaf int, fn func(old []byte) []byte) ([]byte, error) {
 	if curLeaf < 0 || curLeaf >= o.leaves || newLeaf < 0 || newLeaf >= o.leaves {
 		return nil, fmt.Errorf("oram: external leaf out of range")

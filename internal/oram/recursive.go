@@ -116,6 +116,8 @@ func setLabelSlot(block []byte, off int, v uint32) []byte {
 }
 
 // Access performs one logical data access through the full recursion.
+//
+//obfus:secret block data
 func (r *Recursive) Access(op Op, block int, data []byte) ([]byte, error) {
 	if block < 0 || block >= r.data.nBlocks {
 		return nil, fmt.Errorf("oram: block %d out of range", block)

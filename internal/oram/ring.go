@@ -195,6 +195,8 @@ func (r *RingORAM) reshuffle(n int) {
 var ErrRingStashOverflow = errors.New("oram: ring stash overflow")
 
 // Access performs one Ring ORAM operation.
+//
+//obfus:secret block data
 func (r *RingORAM) Access(op Op, block int, data []byte) ([]byte, error) {
 	if block < 0 || block >= r.nBlocks {
 		return nil, fmt.Errorf("oram: ring block %d out of range", block)

@@ -106,6 +106,8 @@ type deviceMetrics struct {
 }
 
 // Device is one PCM chip behind one channel.
+//
+//obfus:owned
 type Device struct {
 	cfg    Config
 	timing Timing

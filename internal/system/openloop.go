@@ -93,6 +93,8 @@ type openWireEvent struct {
 }
 
 // openLane is one channel subtree: the unit of shard affinity.
+//
+//obfus:owned
 type openLane struct {
 	ch       int
 	ep       *sim.Endpoint
